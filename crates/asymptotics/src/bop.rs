@@ -1,0 +1,219 @@
+//! Buffer overflow probability asymptotics — paper Eq. (7)–(9).
+//!
+//! For N homogeneous sources with per-source statistics (μ, σ², r(·)),
+//! per-source bandwidth c and per-source buffer b:
+//!
+//! * **Bahadur–Rao**: `Ψ(c,b,N) ≈ exp(−N·I(c,b) − ½ log(4πN·I(c,b)))` —
+//!   the refined asymptotic with the square-root prefactor;
+//! * **Large-N** (Courcoubetis & Weber): `Ψ ≈ exp(−N·I(c,b))` — the plain
+//!   exponent, an upper envelope about an order of magnitude looser (the
+//!   paper's Fig. 10 compares both against simulation).
+
+use crate::cts::{critical_time_scale_with, CtsResult};
+use crate::stats::SourceStats;
+use crate::variance::VarianceFunction;
+
+/// One point on a BOP-vs-buffer curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BopPoint {
+    /// Per-source buffer b (cells).
+    pub buffer_per_source: f64,
+    /// Total buffer B = N·b expressed as a maximum delay (msec) at the link
+    /// rate — the unit the paper plots.
+    pub buffer_ms: f64,
+    /// Buffer overflow probability estimate.
+    pub bop: f64,
+    /// The CTS at this operating point.
+    pub cts: CtsResult,
+}
+
+/// Converts a per-source buffer (cells) to total-buffer delay in msec:
+/// `delay = B_total / (link rate) = (b/c)·T_s`.
+pub fn buffer_delay_ms(b_per_source: f64, c_per_source: f64, ts_sec: f64) -> f64 {
+    b_per_source / c_per_source * ts_sec * 1e3
+}
+
+/// Inverse of [`buffer_delay_ms`]: per-source buffer (cells) from a delay
+/// target in msec.
+pub fn buffer_from_delay_ms(delay_ms: f64, c_per_source: f64, ts_sec: f64) -> f64 {
+    delay_ms / 1e3 * c_per_source / ts_sec
+}
+
+/// Bahadur–Rao BOP for N sources.
+///
+/// Returns a probability in `(0, 1]`; values are clamped at 1 for the
+/// (non-asymptotic) regime where the estimate exceeds 1.
+pub fn bahadur_rao_bop(stats: &SourceStats, c: f64, b: f64, n: usize) -> f64 {
+    let v = VarianceFunction::new(stats);
+    bahadur_rao_with(&v, stats.mean, c, b, n).bop
+}
+
+/// Large-N BOP (no prefactor).
+pub fn large_n_bop(stats: &SourceStats, c: f64, b: f64, n: usize) -> f64 {
+    let v = VarianceFunction::new(stats);
+    let cts = critical_time_scale_with(&v, stats.mean, c, b);
+    (-(n as f64) * cts.rate).exp().min(1.0)
+}
+
+fn bahadur_rao_with(
+    v: &VarianceFunction,
+    mean: f64,
+    c: f64,
+    b: f64,
+    n: usize,
+) -> BopWithCts {
+    assert!(n >= 1, "need at least one source");
+    let cts = critical_time_scale_with(v, mean, c, b);
+    let ni = n as f64 * cts.rate;
+    // g1 = -1/2 log(4 pi N I); guard tiny NI where the prefactor correction
+    // is meaningless (the asymptotic itself has broken down).
+    let bop = if ni <= 1e-12 {
+        1.0
+    } else {
+        (-ni - 0.5 * (4.0 * std::f64::consts::PI * ni).ln()).exp().min(1.0)
+    };
+    BopWithCts { bop, cts }
+}
+
+struct BopWithCts {
+    bop: f64,
+    cts: CtsResult,
+}
+
+/// Which asymptotic a curve should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Bahadur–Rao (with the ½log prefactor).
+    BahadurRao,
+    /// Courcoubetis–Weber large-N (exponent only).
+    LargeN,
+}
+
+/// Sweeps a BOP-vs-buffer curve over per-source buffers `buffers`
+/// (cells/source), reusing one variance function for the whole sweep.
+///
+/// `ts_sec` is the frame duration used to express buffer in msec.
+pub fn bop_curve(
+    stats: &SourceStats,
+    c: f64,
+    n: usize,
+    buffers: &[f64],
+    ts_sec: f64,
+    flavor: Flavor,
+) -> Vec<BopPoint> {
+    let v = VarianceFunction::new(stats);
+    buffers
+        .iter()
+        .map(|&b| {
+            let point = bahadur_rao_with(&v, stats.mean, c, b, n);
+            let bop = match flavor {
+                Flavor::BahadurRao => point.bop,
+                Flavor::LargeN => (-(n as f64) * point.cts.rate).exp().min(1.0),
+            };
+            BopPoint {
+                buffer_per_source: b,
+                buffer_ms: buffer_delay_ms(b, c, ts_sec),
+                bop,
+                cts: point.cts,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::normal_sf;
+
+    fn ar1(phi: f64, lags: usize) -> SourceStats {
+        SourceStats::new(
+            500.0,
+            5000.0,
+            (0..=lags).map(|k| phi.powi(k as i32)).collect(),
+        )
+    }
+
+    #[test]
+    fn zero_buffer_matches_gaussian_tail() {
+        // At b = 0, I = (c-mu)^2/(2 sigma^2) and the B-R estimate is the
+        // classic refined tail estimate of P(sum of N Gaussians > Nc),
+        // which must sit within a small factor of the exact Q-value.
+        let stats = ar1(0.9, 100);
+        let n = 30;
+        let c = 538.0;
+        let exact = normal_sf((c - 500.0) * (n as f64 / 5000.0).sqrt());
+        let br = bahadur_rao_bop(&stats, c, 0.0, n);
+        assert!(
+            br / exact > 0.5 && br / exact < 2.0,
+            "B-R {br:e} vs exact Gaussian tail {exact:e}"
+        );
+    }
+
+    #[test]
+    fn bop_decreases_with_buffer_and_n() {
+        let stats = ar1(0.9, 4000);
+        let b1 = bahadur_rao_bop(&stats, 538.0, 50.0, 30);
+        let b2 = bahadur_rao_bop(&stats, 538.0, 100.0, 30);
+        let b3 = bahadur_rao_bop(&stats, 538.0, 100.0, 60);
+        assert!(b2 < b1, "more buffer, less loss");
+        assert!(b3 < b2, "more sources at same per-source point, less loss");
+    }
+
+    #[test]
+    fn bahadur_rao_tighter_than_large_n() {
+        // Fig 10: B-R sits about an order of magnitude below large-N.
+        let stats = ar1(0.975, 8000);
+        let c = 538.0;
+        let n = 30;
+        for &b in &[20.0, 60.0, 120.0] {
+            let br = bahadur_rao_bop(&stats, c, b, n);
+            let ln = large_n_bop(&stats, c, b, n);
+            assert!(br < ln, "B-R {br:e} must be below large-N {ln:e}");
+            let gap = ln / br;
+            assert!(
+                gap > 3.0 && gap < 100.0,
+                "prefactor gap should be order-of-magnitude: {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_correlation_slower_decay() {
+        // Fig 5(b): larger `a` (here phi) means flatter BOP curve.
+        let c = 538.0;
+        let n = 30;
+        let b = 120.0;
+        let weak = bahadur_rao_bop(&ar1(0.7, 4000), c, b, n);
+        let strong = bahadur_rao_bop(&ar1(0.975, 4000), c, b, n);
+        assert!(
+            strong > 30.0 * weak,
+            "phi=0.975 BOP {strong:e} should dwarf phi=0.7 BOP {weak:e}"
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone_and_annotated() {
+        let stats = ar1(0.9, 4000);
+        let buffers: Vec<f64> = (0..20).map(|i| i as f64 * 10.0).collect();
+        let curve = bop_curve(&stats, 538.0, 30, &buffers, 0.04, Flavor::BahadurRao);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].bop <= w[0].bop, "BOP must fall with buffer");
+            assert!(w[1].cts.m_star >= w[0].cts.m_star, "CTS non-decreasing");
+            assert!(w[1].buffer_ms > w[0].buffer_ms);
+        }
+        // Buffer unit conversion: b = c cells -> exactly Ts msec of delay.
+        let ms = buffer_delay_ms(538.0, 538.0, 0.04);
+        assert!((ms - 40.0).abs() < 1e-12);
+        let back = buffer_from_delay_ms(ms, 538.0, 0.04);
+        assert!((back - 538.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_clamped_to_unit_interval() {
+        // Absurdly generous operating point: estimate saturates at 1.
+        let stats = ar1(0.99, 100);
+        let p = bahadur_rao_bop(&stats, 500.5, 0.0, 1);
+        assert!(p <= 1.0 && p > 0.1);
+    }
+}

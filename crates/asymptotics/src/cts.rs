@@ -1,0 +1,249 @@
+//! The rate function and the Critical Time Scale — paper Eq. (8) and §4.2.
+//!
+//! `I(c, b) = inf_{m ≥ 1} f(c,b,m) / (2V(m))`, `f = [b + m(c−μ)]²`.
+//!
+//! The minimizer `m*_b` is the **Critical Time Scale**: only the first `m*_b`
+//! frame autocorrelations enter `V(m*_b)` and hence the loss estimate.
+//! Correlations beyond that lag — including the entire long-range-dependent
+//! tail — are invisible to the overflow probability. The paper's two "myths"
+//! fall out of three properties verified here:
+//!
+//! * `m*_b` is **finite** whenever `c > μ` (f grows like m² while V grows
+//!   strictly slower for any proper ACF);
+//! * `m*_0 = 1` — at zero buffer, correlations are completely irrelevant;
+//! * `m*_b` is **non-decreasing in b** and grows only linearly
+//!   (`≈ K·b` with K depending on the short-term correlation structure).
+
+use crate::stats::SourceStats;
+use crate::variance::VarianceFunction;
+
+/// Result of a CTS / rate-function evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtsResult {
+    /// The Critical Time Scale `m*_b` (frames).
+    pub m_star: usize,
+    /// The rate function value `I(c, b)` at the infimum.
+    pub rate: f64,
+    /// True if the search ran out of precomputed ACF horizon before the
+    /// objective turned decisively upward. When set, treat `m_star` as a
+    /// lower bound and re-run with a longer ACF prefix.
+    pub saturated: bool,
+}
+
+/// Computes `I(c,b)` and `m*_b` for a single-source statistic, with `c` and
+/// `b` the per-source bandwidth (cells/frame) and buffer (cells).
+///
+/// The scan walks m upward, tracking the running minimum of
+/// `f(m)/(2V(m))`, and stops early once the objective has risen well clear
+/// of the minimum (the objective is eventually increasing: `f ~ m²` while
+/// `V(m) = o(m²)` for any ACF with `r(k) → 0`).
+///
+/// # Panics
+/// Panics if `c <= mean` (the multiplexer would be unstable) or `b < 0`.
+pub fn critical_time_scale(stats: &SourceStats, c: f64, b: f64) -> CtsResult {
+    let v = VarianceFunction::new(stats);
+    critical_time_scale_with(&v, stats.mean, c, b)
+}
+
+/// Same as [`critical_time_scale`] but reuses a precomputed
+/// [`VarianceFunction`] — the fig-4-style buffer sweeps evaluate hundreds of
+/// buffer sizes against one ACF.
+pub fn critical_time_scale_with(
+    v: &VarianceFunction,
+    mean: f64,
+    c: f64,
+    b: f64,
+) -> CtsResult {
+    assert!(
+        c > mean,
+        "stability requires per-source bandwidth c {c} > mean {mean}"
+    );
+    assert!(b >= 0.0, "negative buffer {b}");
+
+    let drift = c - mean;
+    let objective = |m: usize| {
+        let fm = b + m as f64 * drift;
+        fm * fm / (2.0 * v.v(m))
+    };
+
+    let mut best_m = 1usize;
+    let mut best = objective(1);
+    let max_m = v.max_m();
+    for m in 2..=max_m {
+        let val = objective(m);
+        if val < best {
+            best = val;
+            best_m = m;
+        } else if val > 4.0 * best && m > 4 * best_m + 64 {
+            // Decisively past the minimum.
+            return CtsResult {
+                m_star: best_m,
+                rate: best,
+                saturated: false,
+            };
+        }
+    }
+    CtsResult {
+        m_star: best_m,
+        rate: best,
+        // If the best point sits well inside the horizon the result is
+        // trustworthy even though the early-exit never fired.
+        saturated: best_m * 4 + 64 >= max_m,
+    }
+}
+
+/// The rate function `I(c, b)` alone.
+pub fn rate_function(stats: &SourceStats, c: f64, b: f64) -> f64 {
+    critical_time_scale(stats, c, b).rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn white() -> SourceStats {
+        SourceStats::new(500.0, 5000.0, vec![1.0; 1].into_iter().chain(vec![0.0; 999]).collect())
+    }
+
+    fn ar1(phi: f64, lags: usize) -> SourceStats {
+        SourceStats::new(500.0, 5000.0, (0..=lags).map(|k| phi.powi(k as i32)).collect())
+    }
+
+    fn lrd(h: f64, g: f64, lags: usize) -> SourceStats {
+        SourceStats::new(
+            500.0,
+            5000.0,
+            vbr_models::fbndp::exact_lrd_acf(g, 2.0 * h, lags),
+        )
+    }
+
+    #[test]
+    fn zero_buffer_cts_is_one() {
+        // Paper §4.2: m*_0 = 1 — correlations never matter at zero buffer.
+        for stats in [white(), ar1(0.9, 2000), lrd(0.9, 0.9, 2000)] {
+            let r = critical_time_scale(&stats, 538.0, 0.0);
+            assert_eq!(r.m_star, 1, "m*_0 for {stats:?}");
+            // I(c,0) = (c-mu)^2 / (2 sigma^2).
+            let expect = 38.0 * 38.0 / (2.0 * 5000.0);
+            assert!((r.rate - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn white_noise_cts_follows_continuous_minimizer() {
+        // For V(m) = sigma^2 m the continuous objective [b+md]^2/(2 sigma^2 m)
+        // is minimized at m = b/(c-mu): the CTS is an aggregation window that
+        // grows with buffer even without any correlation. The integer search
+        // must land within one frame of that.
+        let stats = white();
+        let c = 538.0;
+        for &b in &[10.0, 100.0, 400.0] {
+            let r = critical_time_scale(&stats, c, b);
+            let cont = (b / (c - 500.0)).max(1.0);
+            assert!(
+                (r.m_star as f64 - cont).abs() <= 1.0,
+                "white noise at b={b}: m*={} vs continuous {cont}",
+                r.m_star
+            );
+        }
+    }
+
+    #[test]
+    fn cts_is_nondecreasing_in_buffer() {
+        for stats in [ar1(0.9, 4000), lrd(0.9, 0.9, 4000)] {
+            let mut prev = 0usize;
+            for i in 0..30 {
+                let b = i as f64 * 20.0;
+                let r = critical_time_scale(&stats, 526.0, b);
+                assert!(
+                    r.m_star >= prev,
+                    "CTS decreased at b={b}: {} < {prev}",
+                    r.m_star
+                );
+                prev = r.m_star;
+            }
+        }
+    }
+
+    #[test]
+    fn cts_finite_even_for_lrd() {
+        // The first myth: LRD should force huge CTS. It does not.
+        let stats = lrd(0.9, 0.9, 20_000);
+        let r = critical_time_scale(&stats, 538.0, 100.0);
+        assert!(!r.saturated, "scan must terminate");
+        assert!(r.m_star < 500, "CTS {} should be small", r.m_star);
+    }
+
+    #[test]
+    fn ar1_cts_slope_matches_courcoubetis_weber() {
+        // m*_b ~ b/(c-mu) for Gaussian AR(1) (paper §4.2). Slope check at
+        // large-ish b.
+        let stats = ar1(0.9, 60_000);
+        let c = 526.0;
+        let b = 2000.0;
+        let r = critical_time_scale(&stats, c, b);
+        let predict = b / (c - 500.0);
+        assert!(!r.saturated);
+        let ratio = r.m_star as f64 / predict;
+        assert!(
+            (0.8..=1.3).contains(&ratio),
+            "AR(1) CTS {} vs prediction {predict}",
+            r.m_star
+        );
+    }
+
+    #[test]
+    fn exact_lrd_cts_slope_matches_appendix() {
+        // m*_b ~ H b /((1-H)(c-mu)) for exact LRD (paper appendix).
+        let h = 0.86;
+        let stats = lrd(h, 0.9, 400_000);
+        let c = 526.0;
+        let b = 1000.0;
+        let r = critical_time_scale(&stats, c, b);
+        let predict = h / (1.0 - h) * b / (c - 500.0);
+        assert!(!r.saturated, "saturated at m*={}", r.m_star);
+        let ratio = r.m_star as f64 / predict;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "LRD CTS {} vs prediction {predict:.1}",
+            r.m_star
+        );
+    }
+
+    #[test]
+    fn stronger_short_term_correlation_gives_larger_cts() {
+        // Fig 4(b): higher DAR(1) `a` (stronger short-term correlation)
+        // yields larger m*_b at the same buffer.
+        let c = 526.0;
+        let b = 200.0;
+        let mut prev = 0usize;
+        for &phi in &[0.7, 0.9, 0.975] {
+            let r = critical_time_scale(&ar1(phi, 8000), c, b);
+            assert!(r.m_star > prev, "phi={phi}: {} <= {prev}", r.m_star);
+            prev = r.m_star;
+        }
+    }
+
+    #[test]
+    fn rate_increases_with_buffer() {
+        let stats = ar1(0.9, 4000);
+        let r0 = rate_function(&stats, 538.0, 0.0);
+        let r1 = rate_function(&stats, 538.0, 200.0);
+        let r2 = rate_function(&stats, 538.0, 400.0);
+        assert!(r0 < r1 && r1 < r2, "I(c,b) must increase with b: {r0} {r1} {r2}");
+    }
+
+    #[test]
+    fn saturation_reported_when_horizon_too_short() {
+        // Strong correlation + big buffer with a tiny ACF horizon.
+        let stats = ar1(0.99, 50);
+        let r = critical_time_scale(&stats, 505.0, 5000.0);
+        assert!(r.saturated, "should saturate: {r:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unstable_bandwidth() {
+        critical_time_scale(&white(), 499.0, 10.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Input power spectrum and the time-scale/frequency correspondence.
+//!
+//! The paper's §6.2 links the Critical Time Scale to the *cutoff frequency*
+//! of Li & Hwang's spectral queueing analysis: a queue driven by an input
+//! process responds like a low-pass filter, so only spectral content below
+//! some ω_c influences the queue — the frequency-domain face of "only the
+//! first m* correlations matter".
+//!
+//! This module provides the two sides of that correspondence:
+//!
+//! * [`power_spectrum`] — the input's power spectral density from its ACF
+//!   (Wiener–Khinchin, truncated cosine sum with a Bartlett taper to keep
+//!   the estimate non-negative);
+//! * [`cts_cutoff_frequency`] — the frequency implied by a CTS value
+//!   (`ω_c = π / m*` rad/frame: fluctuations slower than the critical
+//!   window are what the loss estimate integrates over);
+//! * [`spectral_mass_below`] — how much of the input's correlated power
+//!   lies below a frequency, so tests can verify that LRD models
+//!   concentrate enormous mass *below* any practical ω_c without that mass
+//!   ever entering the loss estimate.
+
+use crate::stats::SourceStats;
+
+/// Power spectral density of the frame-size process at angular frequency
+/// `w ∈ [0, π]` (radians/frame), from the ACF prefix with a Bartlett
+/// (triangular) taper:
+///
+/// `S(ω) = σ²[1 + 2 Σ_k (1 − k/K) r(k) cos(ωk)] / (2π)`.
+///
+/// The taper makes this the expectation of a valid (non-negative) spectral
+/// estimator; without it a truncated LRD ACF produces negative side lobes.
+pub fn power_spectrum_at(stats: &SourceStats, w: f64) -> f64 {
+    assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&w), "bad frequency {w}");
+    let k_max = stats.max_lag();
+    let mut acc = 1.0;
+    for k in 1..=k_max {
+        let taper = 1.0 - k as f64 / (k_max + 1) as f64;
+        acc += 2.0 * taper * stats.acf[k] * (w * k as f64).cos();
+    }
+    (stats.variance * acc / (2.0 * std::f64::consts::PI)).max(0.0)
+}
+
+/// Samples the PSD on a uniform grid of `points` frequencies over `(0, π]`.
+pub fn power_spectrum(stats: &SourceStats, points: usize) -> Vec<(f64, f64)> {
+    assert!(points >= 2, "need at least two grid points");
+    (1..=points)
+        .map(|i| {
+            let w = std::f64::consts::PI * i as f64 / points as f64;
+            (w, power_spectrum_at(stats, w))
+        })
+        .collect()
+}
+
+/// The cutoff frequency implied by a Critical Time Scale: `ω_c = π/m*`
+/// rad/frame. Content below ω_c varies slower than the critical window and
+/// is averaged into `V(m*)`; content above is noise the buffer rides out.
+pub fn cts_cutoff_frequency(m_star: usize) -> f64 {
+    assert!(m_star >= 1, "CTS is at least 1");
+    std::f64::consts::PI / m_star as f64
+}
+
+/// Fraction of *correlated* spectral mass (total minus the white floor)
+/// lying below frequency `w0`, estimated by trapezoidal integration on a
+/// fine grid. Returns a value in `[0, 1]` (clamped against integration
+/// noise); returns 0 for a white input (no correlated mass at all).
+pub fn spectral_mass_below(stats: &SourceStats, w0: f64, grid: usize) -> f64 {
+    assert!(w0 > 0.0 && w0 <= std::f64::consts::PI, "bad split {w0}");
+    assert!(grid >= 16, "grid too coarse");
+    let white = stats.variance / (2.0 * std::f64::consts::PI);
+    let integrate = |lo: f64, hi: f64| -> f64 {
+        let n = grid;
+        let h = (hi - lo) / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = lo + i as f64 * h;
+            let b = a + h;
+            let fa = (power_spectrum_at(stats, a.max(1e-9)) - white).max(0.0);
+            let fb = (power_spectrum_at(stats, b) - white).max(0.0);
+            acc += 0.5 * (fa + fb) * h;
+        }
+        acc
+    };
+    let below = integrate(0.0, w0);
+    let total = below + integrate(w0, std::f64::consts::PI);
+    if total <= 0.0 {
+        0.0
+    } else {
+        (below / total).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1(phi: f64, lags: usize) -> SourceStats {
+        SourceStats::new(
+            500.0,
+            5000.0,
+            (0..=lags).map(|k| phi.powi(k as i32)).collect(),
+        )
+    }
+
+    fn white() -> SourceStats {
+        let mut acf = vec![0.0; 512];
+        acf[0] = 1.0;
+        SourceStats::new(500.0, 5000.0, acf)
+    }
+
+    #[test]
+    fn white_spectrum_is_flat() {
+        let s = white();
+        let floor = 5000.0 / (2.0 * std::f64::consts::PI);
+        for &(_, p) in &power_spectrum(&s, 32) {
+            assert!((p - floor).abs() < 1e-9 * floor, "{p} vs {floor}");
+        }
+        assert_eq!(spectral_mass_below(&s, 0.5, 64), 0.0);
+    }
+
+    #[test]
+    fn ar1_spectrum_matches_closed_form() {
+        // S(w) = sigma^2 (1-phi^2) / (2 pi (1 + phi^2 - 2 phi cos w)).
+        let phi: f64 = 0.6;
+        let s = ar1(phi, 4096); // long prefix: taper bias negligible
+        for &w in &[0.3, 1.0, 2.0, 3.0] {
+            let got = power_spectrum_at(&s, w);
+            let expect = 5000.0 * (1.0 - phi * phi)
+                / (2.0 * std::f64::consts::PI * (1.0 + phi * phi - 2.0 * phi * w.cos()));
+            assert!(
+                (got / expect - 1.0).abs() < 0.02,
+                "w={w}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_is_nonnegative_even_for_lrd() {
+        let s = SourceStats::new(
+            500.0,
+            5000.0,
+            vbr_models::fbndp::exact_lrd_acf(0.9, 1.8, 4096),
+        );
+        for &(w, p) in &power_spectrum(&s, 64) {
+            assert!(p >= 0.0, "negative PSD at {w}");
+        }
+    }
+
+    #[test]
+    fn lrd_concentrates_mass_at_low_frequency() {
+        let lrd = SourceStats::new(
+            500.0,
+            5000.0,
+            vbr_models::fbndp::exact_lrd_acf(0.9, 1.8, 4096),
+        );
+        let srd = ar1(0.67, 4096); // same lag-1 correlation as the LRD model
+        let split = 0.05;
+        let lrd_mass = spectral_mass_below(&lrd, split, 256);
+        let srd_mass = spectral_mass_below(&srd, split, 256);
+        assert!(
+            lrd_mass > 2.0 * srd_mass,
+            "LRD low-frequency mass {lrd_mass} vs SRD {srd_mass}"
+        );
+    }
+
+    #[test]
+    fn cts_cutoff_corresponds_to_small_buffer_story() {
+        // At a small buffer the CTS is small => cutoff is high => almost all
+        // of an LRD input's correlated mass lies BELOW the cutoff and yet
+        // does not affect the loss — the frequency-domain phrasing of the
+        // paper's conclusion.
+        use crate::cts::critical_time_scale;
+        let stats = SourceStats::new(
+            500.0,
+            5000.0,
+            vbr_models::fbndp::exact_lrd_acf(0.9, 1.8, 16_384),
+        );
+        let cts = critical_time_scale(&stats, 538.0, 27.0); // ~2 ms/source
+        let wc = cts_cutoff_frequency(cts.m_star);
+        assert!(wc > 0.1, "small buffer => high cutoff, got {wc}");
+        let mass_below = spectral_mass_below(&stats, wc, 256);
+        assert!(
+            mass_below > 0.5,
+            "most correlated mass ({mass_below}) sits below the cutoff"
+        );
+    }
+
+    #[test]
+    fn cutoff_monotone_in_cts() {
+        assert!(cts_cutoff_frequency(1) > cts_cutoff_frequency(10));
+        assert!((cts_cutoff_frequency(1) - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Second-order source statistics — the interface between traffic models and
+//! the large-deviations analysis.
+
+use vbr_models::FrameProcess;
+
+/// Mean, variance and an autocorrelation prefix of one source.
+///
+/// Everything in this crate consumes a `SourceStats` rather than a live
+/// model: the Bahadur–Rao machinery only sees (μ, σ², r(·)) — which is
+/// exactly the paper's point that these are the statistics that matter.
+#[derive(Debug, Clone)]
+pub struct SourceStats {
+    /// Mean frame size (cells/frame).
+    pub mean: f64,
+    /// Frame-size variance (cells²).
+    pub variance: f64,
+    /// Autocorrelations `r(0..=K)` with `r(0) = 1`.
+    pub acf: Vec<f64>,
+}
+
+impl SourceStats {
+    /// Builds directly from the raw statistics.
+    ///
+    /// # Panics
+    /// Panics if the variance is not positive, the ACF is empty, or
+    /// `r(0) ≠ 1`.
+    pub fn new(mean: f64, variance: f64, acf: Vec<f64>) -> Self {
+        assert!(
+            variance > 0.0 && variance.is_finite(),
+            "invalid variance {variance}"
+        );
+        assert!(mean.is_finite(), "invalid mean {mean}");
+        assert!(!acf.is_empty(), "ACF must contain at least r(0)");
+        assert!(
+            (acf[0] - 1.0).abs() < 1e-9,
+            "r(0) must be 1, got {}",
+            acf[0]
+        );
+        // Tolerate (and clamp) floating-point dust just outside [-1, 1]:
+        // analytic ACFs computed as cov/var can land at 1 + O(eps).
+        let acf: Vec<f64> = acf
+            .into_iter()
+            .enumerate()
+            .map(|(k, r)| {
+                assert!(
+                    (-1.0 - 1e-9..=1.0 + 1e-9).contains(&r),
+                    "r({k}) = {r} is not a correlation"
+                );
+                r.clamp(-1.0, 1.0)
+            })
+            .collect();
+        Self {
+            mean,
+            variance,
+            acf,
+        }
+    }
+
+    /// Snapshots a model's analytic statistics with `max_lag` ACF terms.
+    ///
+    /// `max_lag` bounds the time scales the analysis can see; the CTS search
+    /// reports saturation if it runs into this horizon, in which case call
+    /// again with a larger value.
+    pub fn from_process(process: &dyn FrameProcess, max_lag: usize) -> Self {
+        Self::new(
+            process.mean(),
+            process.variance(),
+            process.autocorrelations(max_lag),
+        )
+    }
+
+    /// Largest usable lag `K` (the ACF holds `r(0..=K)`).
+    pub fn max_lag(&self) -> usize {
+        self.acf.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_models::{GaussianAr1, FrameProcess};
+
+    #[test]
+    fn from_process_copies_analytics() {
+        let p = GaussianAr1::new(500.0, 70.0, 0.8);
+        let s = SourceStats::from_process(&p, 10);
+        assert_eq!(s.mean, 500.0);
+        assert!((s.variance - 4900.0).abs() < 1e-9);
+        assert_eq!(s.max_lag(), 10);
+        assert!((s.acf[3] - 0.512).abs() < 1e-12);
+        let _ = p.label();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_unit_r0() {
+        SourceStats::new(0.0, 1.0, vec![0.9, 0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_correlation() {
+        SourceStats::new(0.0, 1.0, vec![1.0, 1.5]);
+    }
+}

@@ -1,0 +1,162 @@
+//! The cumulative variance function `V(m)` — paper Eq. (10).
+//!
+//! `V(m) = Var(Σᵢ₌₁..m Yᵢ) = σ²[m + 2Σᵢ₌₁..m (m−i)·r(i)]`.
+//!
+//! This is the only place second-order structure enters the Bahadur–Rao
+//! asymptotic, which is why the CTS argument works: lags beyond the rate
+//! function's minimizer never influence `V(m*)`.
+//!
+//! Computed incrementally using the telescoping identity
+//! `V(m+1) − V(m) = σ²[1 + 2Σᵢ₌₁..m r(i)]`, so building the whole prefix
+//! costs O(K) for K lags instead of the naive O(K²).
+
+use crate::stats::SourceStats;
+
+/// Precomputed `V(1..=K)` for one source.
+#[derive(Debug, Clone)]
+pub struct VarianceFunction {
+    /// `values[m-1] = V(m)`.
+    values: Vec<f64>,
+    sigma2: f64,
+}
+
+impl VarianceFunction {
+    /// Builds the full prefix `V(1..=K)` where K is the ACF horizon of
+    /// `stats`.
+    pub fn new(stats: &SourceStats) -> Self {
+        let sigma2 = stats.variance;
+        let k = stats.max_lag();
+        let mut values = Vec::with_capacity(k + 1);
+        // V(1) = sigma^2.
+        values.push(sigma2);
+        let mut acf_cumsum = 0.0;
+        for m in 1..=k {
+            acf_cumsum += stats.acf[m];
+            let next = values[m - 1] + sigma2 * (1.0 + 2.0 * acf_cumsum);
+            values.push(next);
+        }
+        Self { values, sigma2 }
+    }
+
+    /// `V(m)` for `1 <= m <= max_m`.
+    ///
+    /// # Panics
+    /// Panics if `m` is 0 or beyond the precomputed horizon.
+    #[inline]
+    pub fn v(&self, m: usize) -> f64 {
+        assert!(m >= 1, "V(m) defined for m >= 1");
+        self.values[m - 1]
+    }
+
+    /// Largest m available.
+    pub fn max_m(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Marginal variance σ² = V(1).
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// The *index of dispersion* `V(m)/(m·σ²)` — flat at 1 for white noise,
+    /// converging to a constant for SRD, diverging like `m^{2H−1}` for LRD.
+    /// Used by tests and the ablation benches to classify models.
+    pub fn dispersion(&self, m: usize) -> f64 {
+        self.v(m) / (m as f64 * self.sigma2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_from_acf(acf: Vec<f64>) -> SourceStats {
+        SourceStats::new(500.0, 5000.0, acf)
+    }
+
+    /// Direct O(m²) evaluation of Eq. (10) for cross-checking.
+    fn v_direct(sigma2: f64, acf: &[f64], m: usize) -> f64 {
+        let sum: f64 = (1..=m.min(acf.len() - 1))
+            .map(|i| (m - i) as f64 * acf[i])
+            .sum();
+        sigma2 * (m as f64 + 2.0 * sum)
+    }
+
+    #[test]
+    fn white_noise_is_linear() {
+        let s = stats_from_acf(vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+        let v = VarianceFunction::new(&s);
+        for m in 1..=5 {
+            assert!((v.v(m) - 5000.0 * m as f64).abs() < 1e-9, "m={m}");
+            assert!((v.dispersion(m) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct() {
+        // AR(1)-style ACF.
+        let acf: Vec<f64> = (0..200).map(|k| 0.9_f64.powi(k)).collect();
+        let s = stats_from_acf(acf.clone());
+        let v = VarianceFunction::new(&s);
+        for m in [1, 2, 3, 10, 50, 199] {
+            let direct = v_direct(5000.0, &acf, m);
+            assert!(
+                (v.v(m) - direct).abs() < 1e-6 * direct,
+                "m={m}: {} vs {direct}",
+                v.v(m)
+            );
+        }
+    }
+
+    #[test]
+    fn ar1_converges_to_known_asymptote() {
+        // For AR(1): V(m)/m -> sigma^2 (1+phi)/(1-phi).
+        let phi: f64 = 0.7;
+        let acf: Vec<f64> = (0..5000).map(|k| phi.powi(k)).collect();
+        let v = VarianceFunction::new(&stats_from_acf(acf));
+        let limit = 5000.0 * (1.0 + phi) / (1.0 - phi);
+        let ratio = v.v(5000) / 5000.0;
+        assert!(
+            (ratio - limit).abs() < 0.01 * limit,
+            "V(m)/m {ratio} vs {limit}"
+        );
+    }
+
+    #[test]
+    fn exact_lrd_grows_like_m_2h() {
+        // For exact-LRD ACF with weight g: V(m) ~ sigma^2 g m^{2H} (paper
+        // Eq. 11, "accurate even for small m").
+        let h = 0.9;
+        let g = 0.9;
+        let acf = vbr_models::fbndp::exact_lrd_acf(g, 2.0 * h, 20_000);
+        let v = VarianceFunction::new(&stats_from_acf(acf));
+        for &m in &[1_000usize, 10_000, 20_000] {
+            let expect = 5000.0 * g * (m as f64).powf(2.0 * h);
+            let got = v.v(m);
+            assert!(
+                (got / expect - 1.0).abs() < 0.05,
+                "m={m}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispersion_separates_srd_from_lrd() {
+        let srd_acf: Vec<f64> = (0..4000).map(|k| 0.9_f64.powi(k)).collect();
+        let lrd_acf = vbr_models::fbndp::exact_lrd_acf(0.9, 1.8, 4000);
+        let v_srd = VarianceFunction::new(&stats_from_acf(srd_acf));
+        let v_lrd = VarianceFunction::new(&stats_from_acf(lrd_acf));
+        // SRD dispersion plateaus; LRD keeps climbing.
+        let srd_growth = v_srd.dispersion(4000) / v_srd.dispersion(400);
+        let lrd_growth = v_lrd.dispersion(4000) / v_lrd.dispersion(400);
+        assert!(srd_growth < 1.1, "SRD dispersion growth {srd_growth}");
+        assert!(lrd_growth > 4.0, "LRD dispersion growth {lrd_growth}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_m_zero() {
+        let v = VarianceFunction::new(&stats_from_acf(vec![1.0, 0.5]));
+        v.v(0);
+    }
+}

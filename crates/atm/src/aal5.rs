@@ -1,0 +1,300 @@
+//! AAL5 segmentation and reassembly — how a video frame actually becomes
+//! cells.
+//!
+//! ATM Adaptation Layer 5 (ITU-T I.363.5) carries a variable-length PDU by:
+//!
+//! 1. appending an 8-byte trailer `[UU, CPI, length(2), CRC-32(4)]` after
+//!    zero-padding so the total is a multiple of 48 bytes;
+//! 2. slicing into 48-byte cell payloads;
+//! 3. marking the *last* cell of the PDU with SDU-type 1 in the cell
+//!    header's payload-type field (`PayloadType::User1`).
+//!
+//! The CRC-32 is the IEEE 802.3 polynomial computed over payload + padding +
+//! the first 4 trailer bytes. Reassembly validates length and CRC and
+//! reports precise error causes — a receiver must drop the whole PDU on any
+//! mismatch (there is no per-cell retransmission in AAL5).
+
+use crate::cell::{Cell, CellHeader, PayloadType, PAYLOAD_SIZE};
+
+/// Maximum AAL5 PDU payload (16 bits of length field, minus nothing — the
+/// length field counts payload only).
+pub const MAX_PDU: usize = 65_535;
+
+/// Why reassembly failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// No cells supplied.
+    Empty,
+    /// The final cell is not marked end-of-PDU (truncated burst).
+    MissingEnd,
+    /// An interior cell carries the end-of-PDU mark (concatenated PDUs fed
+    /// as one).
+    EarlyEnd,
+    /// Trailer length field is inconsistent with the cell count.
+    BadLength {
+        /// Length claimed by the trailer.
+        claimed: usize,
+        /// Cells received.
+        cells: usize,
+    },
+    /// CRC-32 mismatch.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried in the trailer.
+        carried: u32,
+    },
+}
+
+impl std::fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReassemblyError::Empty => write!(f, "no cells"),
+            ReassemblyError::MissingEnd => write!(f, "last cell not marked end-of-PDU"),
+            ReassemblyError::EarlyEnd => write!(f, "interior cell marked end-of-PDU"),
+            ReassemblyError::BadLength { claimed, cells } => {
+                write!(f, "trailer length {claimed} impossible for {cells} cells")
+            }
+            ReassemblyError::BadCrc { computed, carried } => {
+                write!(f, "CRC mismatch: computed {computed:08x}, carried {carried:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// CRC-32 (IEEE 802.3, reflected, init all-ones, final complement) as used
+/// by AAL5.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Segments a PDU into AAL5 cells under the given header template.
+///
+/// All cells carry `header`'s VPI/VCI/CLP; the payload-type field is forced
+/// to `User0` for non-final and `User1` for the final cell.
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_PDU`].
+pub fn segment(payload: &[u8], header: CellHeader) -> Vec<Cell> {
+    assert!(
+        payload.len() <= MAX_PDU,
+        "AAL5 PDU too large: {} > {MAX_PDU}",
+        payload.len()
+    );
+    // Total = payload + pad + 8-byte trailer, multiple of 48.
+    let with_trailer = payload.len() + 8;
+    let total = with_trailer.div_ceil(PAYLOAD_SIZE) * PAYLOAD_SIZE;
+    let pad = total - with_trailer;
+
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(payload);
+    buf.resize(payload.len() + pad, 0);
+    // Trailer: CPCS-UU (0), CPI (0), length, CRC-32.
+    buf.push(0); // UU
+    buf.push(0); // CPI
+    buf.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    debug_assert_eq!(buf.len(), total);
+
+    buf.chunks_exact(PAYLOAD_SIZE)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let last = (i + 1) * PAYLOAD_SIZE == total;
+            let mut h = header;
+            h.pt = if last {
+                PayloadType::User1
+            } else {
+                PayloadType::User0
+            };
+            let mut cell_payload = [0u8; PAYLOAD_SIZE];
+            cell_payload.copy_from_slice(chunk);
+            Cell::new(h, cell_payload)
+        })
+        .collect()
+}
+
+/// Reassembles one PDU from its cells (in order, no interleaving).
+pub fn reassemble(cells: &[Cell]) -> Result<Vec<u8>, ReassemblyError> {
+    if cells.is_empty() {
+        return Err(ReassemblyError::Empty);
+    }
+    let last = cells.len() - 1;
+    for (i, cell) in cells.iter().enumerate() {
+        let is_end = matches!(
+            cell.header.pt,
+            PayloadType::User1 | PayloadType::UserCongested1
+        );
+        if i == last && !is_end {
+            return Err(ReassemblyError::MissingEnd);
+        }
+        if i != last && is_end {
+            return Err(ReassemblyError::EarlyEnd);
+        }
+    }
+
+    let mut buf = Vec::with_capacity(cells.len() * PAYLOAD_SIZE);
+    for cell in cells {
+        buf.extend_from_slice(&cell.payload);
+    }
+    // Trailer occupies the last 8 bytes.
+    let total = buf.len();
+    let length = u16::from_be_bytes([buf[total - 6], buf[total - 5]]) as usize;
+    let carried = u32::from_be_bytes([
+        buf[total - 4],
+        buf[total - 3],
+        buf[total - 2],
+        buf[total - 1],
+    ]);
+    // Valid length: fits in the cells with trailer and padding < 48 extra.
+    let max_payload = total - 8;
+    let min_payload = total.saturating_sub(PAYLOAD_SIZE + 7);
+    if length > max_payload || length < min_payload {
+        return Err(ReassemblyError::BadLength {
+            claimed: length,
+            cells: cells.len(),
+        });
+    }
+    let computed = crc32(&buf[..total - 4]);
+    if computed != carried {
+        return Err(ReassemblyError::BadCrc { computed, carried });
+    }
+    buf.truncate(length);
+    Ok(buf)
+}
+
+/// Number of cells AAL5 needs for a payload of `len` bytes — the frame-size
+/// quantization video sources see. (`len + 8` rounded up to 48.)
+pub fn cells_for_payload(len: usize) -> usize {
+    (len + 8).div_ceil(PAYLOAD_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> CellHeader {
+        CellHeader {
+            gfc: 0,
+            vpi: 1,
+            vci: 42,
+            pt: PayloadType::User0,
+            clp: false,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        // Cover the padding edge cases around the 48-byte boundary.
+        for len in [0usize, 1, 39, 40, 41, 47, 48, 88, 89, 1500, 65_535] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let cells = segment(&payload, header());
+            assert_eq!(cells.len(), cells_for_payload(len), "len {len}");
+            let back = reassemble(&cells).unwrap_or_else(|e| panic!("len {len}: {e}"));
+            assert_eq!(back, payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn only_final_cell_marked() {
+        let cells = segment(&[0xAA; 200], header());
+        for (i, c) in cells.iter().enumerate() {
+            let is_last = i == cells.len() - 1;
+            assert_eq!(
+                c.header.pt == PayloadType::User1,
+                is_last,
+                "cell {i} marking"
+            );
+        }
+    }
+
+    #[test]
+    fn forty_byte_payload_fits_one_cell() {
+        // 40 + 8 = 48 exactly: single cell, no padding.
+        assert_eq!(cells_for_payload(40), 1);
+        assert_eq!(cells_for_payload(41), 2);
+        let cells = segment(&[1u8; 40], header());
+        assert_eq!(cells.len(), 1);
+        assert_eq!(reassemble(&cells).unwrap(), vec![1u8; 40]);
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let payload: Vec<u8> = (0..500).map(|i| i as u8).collect();
+        let mut cells = segment(&payload, header());
+        cells[3].payload[10] ^= 0x01;
+        match reassemble(&cells) {
+            Err(ReassemblyError::BadCrc { .. }) => {}
+            other => panic!("expected CRC error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_final_cell_detected() {
+        let payload = vec![9u8; 300];
+        let mut cells = segment(&payload, header());
+        cells.pop();
+        assert_eq!(reassemble(&cells), Err(ReassemblyError::MissingEnd));
+    }
+
+    #[test]
+    fn lost_interior_cell_detected() {
+        let payload: Vec<u8> = (0..500).map(|i| (i % 251) as u8).collect();
+        let mut cells = segment(&payload, header());
+        cells.remove(2);
+        // Either the length check or the CRC catches it.
+        assert!(reassemble(&cells).is_err());
+    }
+
+    #[test]
+    fn concatenated_pdus_detected() {
+        let a = segment(&[1u8; 100], header());
+        let b = segment(&[2u8; 100], header());
+        let joined: Vec<Cell> = a.into_iter().chain(b).collect();
+        assert_eq!(reassemble(&joined), Err(ReassemblyError::EarlyEnd));
+    }
+
+    #[test]
+    fn empty_input_detected() {
+        assert_eq!(reassemble(&[]), Err(ReassemblyError::Empty));
+    }
+
+    #[test]
+    fn video_frame_cell_counts() {
+        // A 500-cell video frame corresponds to a ~23.6 kB elementary-stream
+        // chunk: check the quantization arithmetic the models implicitly use.
+        let bytes_per_frame = 500 * PAYLOAD_SIZE - 8; // exactly 500 cells
+        assert_eq!(cells_for_payload(bytes_per_frame), 500);
+        assert_eq!(cells_for_payload(bytes_per_frame + 1), 501);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ReassemblyError::BadLength {
+            claimed: 99,
+            cells: 1,
+        };
+        assert!(e.to_string().contains("99"));
+    }
+}

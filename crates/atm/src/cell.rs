@@ -1,0 +1,377 @@
+//! The 53-byte ATM cell: header codec and HEC handling.
+//!
+//! Layout (UNI):
+//!
+//! ```text
+//!  byte 0: GFC(4) | VPI high(4)
+//!  byte 1: VPI low(4) | VCI bits 15..12
+//!  byte 2: VCI bits 11..4
+//!  byte 3: VCI bits 3..0 | PT(3) | CLP(1)
+//!  byte 4: HEC — CRC-8 over bytes 0..4, poly x⁸+x²+x+1, XOR 0x55
+//! ```
+//!
+//! NNI replaces the GFC field with four more VPI bits (12-bit VPI).
+//!
+//! The HEC is computed per ITU-T I.432; the receiver can additionally
+//! *correct* any single-bit header error by syndrome lookup, which this
+//! module implements (the standard's correction mode).
+
+/// Total cell size in bytes.
+pub const CELL_SIZE: usize = 53;
+/// Payload size in bytes.
+pub const PAYLOAD_SIZE: usize = 48;
+/// Header size in bytes.
+pub const HEADER_SIZE: usize = 5;
+
+/// CRC-8 polynomial x⁸ + x² + x + 1 (0x07), MSB-first.
+const HEC_POLY: u8 = 0x07;
+/// Coset leader XORed into the CRC remainder (ITU-T I.432 §7.3.2.2).
+const HEC_COSET: u8 = 0x55;
+
+/// The 3-bit payload-type indicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadType {
+    /// User data, no congestion experienced, SDU-type 0.
+    User0 = 0b000,
+    /// User data, no congestion, SDU-type 1 (AAL5 end-of-frame).
+    User1 = 0b001,
+    /// User data, congestion experienced, SDU-type 0.
+    UserCongested0 = 0b010,
+    /// User data, congestion experienced, SDU-type 1.
+    UserCongested1 = 0b011,
+    /// Segment OAM F5 flow.
+    OamSegment = 0b100,
+    /// End-to-end OAM F5 flow.
+    OamEndToEnd = 0b101,
+    /// Resource management (e.g. ABR RM cells).
+    ResourceManagement = 0b110,
+    /// Reserved.
+    Reserved = 0b111,
+}
+
+impl PayloadType {
+    /// Decodes from the 3-bit field.
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b111 {
+            0b000 => PayloadType::User0,
+            0b001 => PayloadType::User1,
+            0b010 => PayloadType::UserCongested0,
+            0b011 => PayloadType::UserCongested1,
+            0b100 => PayloadType::OamSegment,
+            0b101 => PayloadType::OamEndToEnd,
+            0b110 => PayloadType::ResourceManagement,
+            _ => PayloadType::Reserved,
+        }
+    }
+}
+
+/// Decoded ATM cell header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellHeader {
+    /// Generic flow control (UNI only; 0 on NNI — the field is repurposed
+    /// as high VPI bits there).
+    pub gfc: u8,
+    /// Virtual path identifier (8 bits UNI, 12 bits NNI).
+    pub vpi: u16,
+    /// Virtual channel identifier (16 bits).
+    pub vci: u16,
+    /// Payload type indicator.
+    pub pt: PayloadType,
+    /// Cell loss priority: `true` = low priority (drop first). The paper's
+    /// loss-rate targets refer to CLP=0 traffic.
+    pub clp: bool,
+}
+
+impl CellHeader {
+    /// Validates UNI field ranges.
+    fn validate_uni(&self) {
+        assert!(self.gfc <= 0xF, "GFC is 4 bits, got {}", self.gfc);
+        assert!(self.vpi <= 0xFF, "UNI VPI is 8 bits, got {}", self.vpi);
+    }
+
+    /// Encodes the first four header bytes (UNI layout, no HEC).
+    pub fn encode_uni(&self) -> [u8; 4] {
+        self.validate_uni();
+        let pt = self.pt as u8;
+        [
+            (self.gfc << 4) | ((self.vpi >> 4) as u8 & 0x0F),
+            (((self.vpi & 0x0F) as u8) << 4) | ((self.vci >> 12) as u8 & 0x0F),
+            (self.vci >> 4) as u8,
+            (((self.vci & 0x0F) as u8) << 4) | (pt << 1) | u8::from(self.clp),
+        ]
+    }
+
+    /// Decodes from the first four header bytes (UNI layout).
+    pub fn decode_uni(bytes: &[u8; 4]) -> Self {
+        Self {
+            gfc: bytes[0] >> 4,
+            vpi: (u16::from(bytes[0] & 0x0F) << 4) | u16::from(bytes[1] >> 4),
+            vci: (u16::from(bytes[1] & 0x0F) << 12)
+                | (u16::from(bytes[2]) << 4)
+                | u16::from(bytes[3] >> 4),
+            pt: PayloadType::from_bits((bytes[3] >> 1) & 0b111),
+            clp: bytes[3] & 1 == 1,
+        }
+    }
+
+    /// Encodes the first four header bytes (NNI layout: 12-bit VPI).
+    pub fn encode_nni(&self) -> [u8; 4] {
+        assert!(self.vpi <= 0xFFF, "NNI VPI is 12 bits, got {}", self.vpi);
+        let pt = self.pt as u8;
+        [
+            (self.vpi >> 4) as u8,
+            (((self.vpi & 0x0F) as u8) << 4) | ((self.vci >> 12) as u8 & 0x0F),
+            (self.vci >> 4) as u8,
+            (((self.vci & 0x0F) as u8) << 4) | (pt << 1) | u8::from(self.clp),
+        ]
+    }
+
+    /// Decodes from the first four header bytes (NNI layout).
+    pub fn decode_nni(bytes: &[u8; 4]) -> Self {
+        Self {
+            gfc: 0,
+            vpi: (u16::from(bytes[0]) << 4) | u16::from(bytes[1] >> 4),
+            vci: (u16::from(bytes[1] & 0x0F) << 12)
+                | (u16::from(bytes[2]) << 4)
+                | u16::from(bytes[3] >> 4),
+            pt: PayloadType::from_bits((bytes[3] >> 1) & 0b111),
+            clp: bytes[3] & 1 == 1,
+        }
+    }
+}
+
+/// Computes the HEC byte for four header bytes.
+pub fn hec(header: &[u8; 4]) -> u8 {
+    crc8(header) ^ HEC_COSET
+}
+
+fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ HEC_POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Result of HEC verification at a receiver in correction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HecStatus {
+    /// Header intact.
+    Valid,
+    /// A single-bit error was detected and corrected; the payload carries
+    /// the (bit-flipped byte index, bit mask) that was fixed.
+    Corrected {
+        /// Index (0..=4) of the corrected header byte.
+        byte: usize,
+        /// Bit mask that was flipped back.
+        mask: u8,
+    },
+    /// Multi-bit error: the cell must be discarded.
+    Uncorrectable,
+}
+
+/// Verifies (and possibly corrects) a 5-byte header in place.
+///
+/// Single-bit errors anywhere in the 40 header bits are corrected by
+/// syndrome search; anything else is reported uncorrectable.
+pub fn verify_and_correct(header: &mut [u8; 5]) -> HecStatus {
+    let expect = hec(&[header[0], header[1], header[2], header[3]]);
+    if expect == header[4] {
+        return HecStatus::Valid;
+    }
+    // Try flipping each of the 40 bits and re-check.
+    for byte in 0..5 {
+        for bit in 0..8 {
+            let mask = 1u8 << bit;
+            header[byte] ^= mask;
+            let ok = hec(&[header[0], header[1], header[2], header[3]]) == header[4];
+            if ok {
+                return HecStatus::Corrected { byte, mask };
+            }
+            header[byte] ^= mask; // undo
+        }
+    }
+    HecStatus::Uncorrectable
+}
+
+/// A complete 53-byte cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Decoded header fields.
+    pub header: CellHeader,
+    /// 48-byte payload.
+    pub payload: [u8; PAYLOAD_SIZE],
+}
+
+impl Cell {
+    /// Builds a user-data cell.
+    pub fn new(header: CellHeader, payload: [u8; PAYLOAD_SIZE]) -> Self {
+        Self { header, payload }
+    }
+
+    /// Serializes to 53 bytes (UNI layout) with a freshly computed HEC.
+    pub fn to_bytes(&self) -> [u8; CELL_SIZE] {
+        let mut out = [0u8; CELL_SIZE];
+        let head = self.header.encode_uni();
+        out[..4].copy_from_slice(&head);
+        out[4] = hec(&head);
+        out[HEADER_SIZE..].copy_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses 53 bytes (UNI layout), verifying the HEC. Single-bit header
+    /// errors are corrected transparently.
+    ///
+    /// Returns `None` when the header is uncorrectable.
+    pub fn from_bytes(bytes: &[u8; CELL_SIZE]) -> Option<Self> {
+        let mut head = [bytes[0], bytes[1], bytes[2], bytes[3], bytes[4]];
+        if verify_and_correct(&mut head) == HecStatus::Uncorrectable {
+            return None;
+        }
+        let header = CellHeader::decode_uni(&[head[0], head[1], head[2], head[3]]);
+        let mut payload = [0u8; PAYLOAD_SIZE];
+        payload.copy_from_slice(&bytes[HEADER_SIZE..]);
+        Some(Self { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> CellHeader {
+        CellHeader {
+            gfc: 0,
+            vpi: 42,
+            vci: 1234,
+            pt: PayloadType::User0,
+            clp: false,
+        }
+    }
+
+    #[test]
+    fn uni_roundtrip_all_fields() {
+        for vpi in [0u16, 1, 255] {
+            for vci in [0u16, 5, 65_535] {
+                for clp in [false, true] {
+                    let h = CellHeader {
+                        gfc: 0xA,
+                        vpi,
+                        vci,
+                        pt: PayloadType::User1,
+                        clp,
+                    };
+                    let enc = h.encode_uni();
+                    assert_eq!(CellHeader::decode_uni(&enc), h);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nni_roundtrip_wide_vpi() {
+        let h = CellHeader {
+            gfc: 0,
+            vpi: 0xABC,
+            vci: 0x1234,
+            pt: PayloadType::ResourceManagement,
+            clp: true,
+        };
+        let enc = h.encode_nni();
+        assert_eq!(CellHeader::decode_nni(&enc), h);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uni_rejects_wide_vpi() {
+        CellHeader {
+            vpi: 0x100,
+            ..sample_header()
+        }
+        .encode_uni();
+    }
+
+    #[test]
+    fn hec_known_vector() {
+        // All-zero header: CRC-8(0,0,0,0) = 0, HEC = coset 0x55.
+        assert_eq!(hec(&[0, 0, 0, 0]), 0x55);
+    }
+
+    #[test]
+    fn hec_detects_and_corrects_single_bit() {
+        let head4 = sample_header().encode_uni();
+        let mut full = [head4[0], head4[1], head4[2], head4[3], hec(&head4)];
+        // Flip one bit in each position and verify correction.
+        for byte in 0..5 {
+            for bit in 0..8 {
+                let mut corrupted = full;
+                corrupted[byte] ^= 1 << bit;
+                let status = verify_and_correct(&mut corrupted);
+                assert_eq!(
+                    status,
+                    HecStatus::Corrected {
+                        byte,
+                        mask: 1 << bit
+                    },
+                    "byte {byte} bit {bit}"
+                );
+                assert_eq!(corrupted, full, "header must be restored");
+            }
+        }
+        assert_eq!(verify_and_correct(&mut full), HecStatus::Valid);
+    }
+
+    #[test]
+    fn hec_flags_double_bit_errors() {
+        let head4 = sample_header().encode_uni();
+        let mut full = [head4[0], head4[1], head4[2], head4[3], hec(&head4)];
+        full[0] ^= 0b11; // two bit errors in one byte
+        // Either uncorrectable, or (rarely for CRC-8) miscorrected — for
+        // this polynomial adjacent double errors in the same byte are
+        // detected.
+        let status = verify_and_correct(&mut full);
+        assert_eq!(status, HecStatus::Uncorrectable);
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let mut payload = [0u8; PAYLOAD_SIZE];
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let cell = Cell::new(sample_header(), payload);
+        let bytes = cell.to_bytes();
+        assert_eq!(bytes.len(), 53);
+        let parsed = Cell::from_bytes(&bytes).expect("valid cell");
+        assert_eq!(parsed, cell);
+    }
+
+    #[test]
+    fn corrupted_cell_recovers_or_rejects() {
+        let cell = Cell::new(sample_header(), [7u8; PAYLOAD_SIZE]);
+        let mut bytes = cell.to_bytes();
+        bytes[2] ^= 0x10; // single-bit header hit
+        let parsed = Cell::from_bytes(&bytes).expect("single-bit must correct");
+        assert_eq!(parsed.header, cell.header);
+
+        let mut wrecked = cell.to_bytes();
+        wrecked[0] ^= 0xFF;
+        wrecked[1] ^= 0xFF;
+        assert_eq!(Cell::from_bytes(&wrecked), None);
+    }
+
+    #[test]
+    fn payload_type_decode_covers_all() {
+        for bits in 0..8u8 {
+            let pt = PayloadType::from_bits(bits);
+            assert_eq!(pt as u8, bits);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # vbr-atm
+//!
+//! ATM cell-layer substrate: the wire format and traffic-contract machinery
+//! an ATM multiplexer of VBR video sources actually runs on. The paper
+//! reasons at the cell scale (cell loss rate, cells/frame, cell buffers);
+//! this crate supplies the concrete cell layer so the examples can carry a
+//! simulated video source over a faithful UNI:
+//!
+//! * [`cell`] — the 53-byte ATM cell codec (UNI and NNI header layouts) with
+//!   HEC generation/verification (CRC-8, polynomial x⁸+x²+x+1, coset 0x55 —
+//!   ITU-T I.432) including single-bit error *correction*;
+//! * [`gcra`] — the Generic Cell Rate Algorithm in its virtual-scheduling
+//!   form (ITU-T I.371), the standard UPC/NPC conformance test for traffic
+//!   contracts (PCR/CDVT and SCR/BT policing);
+//! * [`spacer`] — a cell spacer that re-times a conforming-but-bursty cell
+//!   stream to a minimum inter-cell gap (peak-rate shaping);
+//! * [`aal5`] — AAL5 segmentation/reassembly (ITU-T I.363.5): PDU framing
+//!   with padding, length and CRC-32 trailer — how a video frame actually
+//!   becomes the cell counts the traffic models emit.
+//!
+//! Design follows the smoltcp school: no allocation in the datapath, wire
+//! formats as plain functions over byte arrays, conformance logic as small
+//! explicit state machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aal5;
+pub mod cell;
+pub mod gcra;
+pub mod spacer;
+
+pub use aal5::{cells_for_payload, reassemble, segment, ReassemblyError};
+pub use cell::{Cell, CellHeader, HecStatus, PayloadType, CELL_SIZE, PAYLOAD_SIZE};
+pub use gcra::{Gcra, GcraOutcome};
+pub use spacer::Spacer;

@@ -1,0 +1,133 @@
+//! Cell spacer: peak-rate shaping by re-timing.
+//!
+//! A spacer delays cells just enough to guarantee a minimum inter-departure
+//! gap `T` — the shaping counterpart of `GCRA(T, 0)` policing: a stream that
+//! has passed through a spacer with gap `T` conforms to `GCRA(T, 0)` by
+//! construction (a property the tests verify).
+
+/// A work-conserving cell spacer with minimum gap `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Spacer {
+    gap: f64,
+    last_departure: Option<f64>,
+}
+
+impl Spacer {
+    /// Creates a spacer with minimum inter-cell gap `gap` seconds.
+    ///
+    /// # Panics
+    /// Panics if `gap` is not positive and finite.
+    pub fn new(gap: f64) -> Self {
+        assert!(gap > 0.0 && gap.is_finite(), "invalid gap {gap}");
+        Self {
+            gap,
+            last_departure: None,
+        }
+    }
+
+    /// Creates a spacer for a peak cell rate (cells/sec).
+    pub fn for_rate(cells_per_sec: f64) -> Self {
+        assert!(cells_per_sec > 0.0, "invalid rate");
+        Self::new(1.0 / cells_per_sec)
+    }
+
+    /// The enforced gap T.
+    pub fn gap(&self) -> f64 {
+        self.gap
+    }
+
+    /// Departure time for a cell arriving at `arrival` (non-decreasing
+    /// across calls).
+    ///
+    /// # Panics
+    /// Panics (debug) if arrivals go backwards in time.
+    pub fn depart(&mut self, arrival: f64) -> f64 {
+        let t = match self.last_departure {
+            Some(last) => arrival.max(last + self.gap),
+            None => arrival,
+        };
+        self.last_departure = Some(t);
+        t
+    }
+
+    /// Current backlog delay a cell arriving at `arrival` would suffer.
+    pub fn delay_at(&self, arrival: f64) -> f64 {
+        match self.last_departure {
+            Some(last) => (last + self.gap - arrival).max(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        self.last_departure = None;
+    }
+}
+
+/// Shapes a whole arrival sequence; returns departures.
+pub fn shape(arrivals: &[f64], gap: f64) -> Vec<f64> {
+    let mut spacer = Spacer::new(gap);
+    arrivals.iter().map(|&t| spacer.depart(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcra::{Gcra, GcraOutcome};
+
+    #[test]
+    fn sparse_stream_passes_untouched() {
+        let arr = [0.0, 5.0, 11.0];
+        assert_eq!(shape(&arr, 1.0), arr.to_vec());
+    }
+
+    #[test]
+    fn burst_is_spread_at_gap() {
+        let out = shape(&[0.0, 0.0, 0.0, 0.0], 0.5);
+        assert_eq!(out, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn output_always_conforms_to_gcra() {
+        // Arbitrary bursty arrivals -> shaped stream passes GCRA(T, 0).
+        let arrivals: Vec<f64> = (0..200)
+            .map(|i| (i / 10) as f64 * 0.3) // bursts of 10 at the same instant
+            .collect();
+        let gap = 0.07;
+        let departures = shape(&arrivals, gap);
+        let mut police = Gcra::new(gap, 1e-12);
+        for &t in &departures {
+            assert_eq!(police.police(t), GcraOutcome::Conforming, "at {t}");
+        }
+        // Departures never precede arrivals; order preserved.
+        for (a, d) in arrivals.iter().zip(&departures) {
+            assert!(d >= a);
+        }
+        for w in departures.windows(2) {
+            assert!(w[1] - w[0] >= gap - 1e-12);
+        }
+    }
+
+    #[test]
+    fn delay_reporting() {
+        let mut s = Spacer::new(1.0);
+        assert_eq!(s.delay_at(0.0), 0.0);
+        s.depart(0.0);
+        assert!((s.delay_at(0.2) - 0.8).abs() < 1e-12);
+        assert_eq!(s.delay_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut s = Spacer::new(1.0);
+        s.depart(0.0);
+        s.reset();
+        assert_eq!(s.depart(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_gap() {
+        Spacer::new(0.0);
+    }
+}

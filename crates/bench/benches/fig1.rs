@@ -1,0 +1,13 @@
+//! Fig. 1: effect of the knobs a (short-term) and v (long-term) on the
+//! composite autocorrelation function.
+
+use vbr_core::experiments::fig1;
+
+fn main() {
+    vbr_bench::preamble(
+        "Figure 1: effect of a and v on the ACF of Z^a and V^v",
+        "Expected shape: a moves the small-lag ACF, v rescales the power-law tail.",
+    );
+    let series = fig1(64);
+    vbr_bench::emit("fig1", "ACF vs lag (1..64)", "lag", &series);
+}

@@ -1,0 +1,26 @@
+//! Fig. 10: accuracy of the two large-buffer asymptotics (Bahadur-Rao and
+//! large-N) against simulation for the DAR(1) model matched to Z^0.975.
+
+use vbr_core::experiments::{fig10, linear_buffer_grid, SimScale};
+
+fn main() {
+    // The fig-10 model is a DAR(1) — two orders of magnitude cheaper to
+    // simulate than the FBNDP composites — so the default scale here is
+    // generous even on one core.
+    let mut scale = SimScale::from_env();
+    if std::env::var("VBR_FULL").map(|v| v != "1").unwrap_or(true) {
+        scale = SimScale { frames: 150_000, replications: 12 };
+    }
+    vbr_bench::preamble(
+        "Figure 10: B-R vs large-N asymptotics vs simulation, DAR(1)~Z^0.975",
+        &format!(
+            "scale: {} replications x {} frames (VBR_FULL=1 for paper scale)\n\
+             Expected: curves parallel; B-R about one order tighter than large-N;\n\
+             both upper-bound the finite-buffer CLR.",
+            scale.replications, scale.frames
+        ),
+    );
+    let grid = linear_buffer_grid(0.5, 6.0, 8);
+    let series = fig10(&grid, scale);
+    vbr_bench::emit("fig10", "probability vs buffer (msec)", "buffer_ms", &series);
+}

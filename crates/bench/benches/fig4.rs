@@ -1,0 +1,16 @@
+//! Fig. 4: Critical Time Scale m*_b vs total buffer size (msec);
+//! c = 526 cells/frame, N = 100.
+
+use vbr_core::experiments::{fig4, linear_buffer_grid};
+
+fn main() {
+    vbr_bench::preamble(
+        "Figure 4: CTS m*_b vs total buffer — (a) V^v family, (b) Z^a family",
+        "Expected: m*_0 small, non-decreasing in B; V^v curves nearly coincide\n\
+         (same short-term correlations) while Z^a curves spread by a\n\
+         (>= 15 frames apart already at B = 2 msec).",
+    );
+    let grid = linear_buffer_grid(0.1, 12.0, 25);
+    let series = fig4(&grid);
+    vbr_bench::emit("fig4", "m*_b vs total buffer (msec)", "buffer_ms", &series);
+}

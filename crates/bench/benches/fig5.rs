@@ -1,0 +1,15 @@
+//! Fig. 5: Bahadur-Rao BOP vs buffer over the practical range;
+//! N = 30, c = 538 cells/frame.
+
+use vbr_core::experiments::{fig5, linear_buffer_grid};
+
+fn main() {
+    vbr_bench::preamble(
+        "Figure 5: B-R BOPs — (a) V^v (cluster), (b) Z^a (fan-out by a)",
+        "Expected: close short-term correlations -> close loss curves;\n\
+         stronger short-term correlations -> slower decay.",
+    );
+    let grid = linear_buffer_grid(0.1, 30.0, 25);
+    let series = fig5(&grid);
+    vbr_bench::emit("fig5", "BOP vs buffer (msec)", "buffer_ms", &series);
+}

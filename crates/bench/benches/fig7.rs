@@ -1,0 +1,28 @@
+//! Fig. 7: the same comparison over an unrealistically wide buffer range —
+//! where the two "myths" come from.
+
+use vbr_core::experiments::{fig7, fig7_crossover, log_buffer_grid};
+
+fn main() {
+    vbr_bench::preamble(
+        "Figure 7: Z^a vs DAR(p) vs L over a wide buffer range",
+        "Expected: L eventually overtakes every DAR(p), but only beyond the\n\
+         practical 20-30 ms delay budget (for p >= 2).",
+    );
+    let grid = log_buffer_grid(0.5, 2000.0, 30);
+    for (panel, a) in [("a", 0.975), ("b", 0.7)] {
+        let series = fig7(a, &grid);
+        vbr_bench::emit(
+            &format!("fig7{panel}"),
+            &format!("panel ({panel}): Z^{a} vs DAR(p) vs L, wide range"),
+            "buffer_ms",
+            &series,
+        );
+        for p in 1..=3 {
+            match fig7_crossover(a, p, &grid) {
+                Some(ms) => println!("  L overtakes DAR({p}) for Z^{a} at ~{ms:.1} msec"),
+                None => println!("  L never overtakes DAR({p}) for Z^{a} within the grid"),
+            }
+        }
+    }
+}

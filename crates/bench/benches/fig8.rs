@@ -1,0 +1,28 @@
+//! Fig. 8: simulated finite-buffer CLR of V^v and Z^a.
+//! Default scale resolves CLR to ~1e-6; VBR_FULL=1 runs the paper's
+//! 60 x 500k protocol.
+
+use vbr_core::experiments::{fig8, linear_buffer_grid, SimScale};
+
+fn main() {
+    let scale = SimScale::from_env();
+    vbr_bench::preamble(
+        "Figure 8: simulated CLRs of V^v and Z^a (N = 30, c = 538)",
+        &format!(
+            "scale: {} replications x {} frames (VBR_FULL=1 for paper scale)\n\
+             Expected: common zero-buffer intercept ~1.1e-5; V^v cluster; Z^a fan out.",
+            scale.replications, scale.frames
+        ),
+    );
+    // At the reduced default scale only the small-buffer region has
+    // resolvable loss (LRD losses cluster in rare excursions; the paper's
+    // 60 x 500k protocol exists precisely to see the tail). VBR_FULL=1
+    // extends the measurable range to the paper's 0-16 ms.
+    let grid = if std::env::var("VBR_FULL").map(|v| v == "1").unwrap_or(false) {
+        linear_buffer_grid(0.0001, 16.0, 9)
+    } else {
+        linear_buffer_grid(0.0001, 2.0, 7)
+    };
+    let series = fig8(&grid, scale);
+    vbr_bench::emit("fig8", "simulated CLR vs buffer (msec)", "buffer_ms", &series);
+}

@@ -1,0 +1,28 @@
+//! Fig. 9: simulated CLR of Z^a vs its DAR(p) fits vs L.
+
+use vbr_core::experiments::{fig9, linear_buffer_grid, SimScale};
+
+fn main() {
+    let scale = SimScale::from_env();
+    vbr_bench::preamble(
+        "Figure 9: simulated CLRs — Z^a vs matched DAR(p) vs L (N = 30, c = 538)",
+        &format!(
+            "scale: {} replications x {} frames (VBR_FULL=1 for paper scale)",
+            scale.replications, scale.frames
+        ),
+    );
+    let grid = if std::env::var("VBR_FULL").map(|v| v == "1").unwrap_or(false) {
+        linear_buffer_grid(0.0001, 16.0, 9)
+    } else {
+        linear_buffer_grid(0.0001, 2.0, 7)
+    };
+    for (panel, a) in [("a", 0.975), ("b", 0.7)] {
+        let series = fig9(a, &grid, scale);
+        vbr_bench::emit(
+            &format!("fig9{panel}"),
+            &format!("panel ({panel}): Z^{a} vs DAR(p) vs L, simulation"),
+            "buffer_ms",
+            &series,
+        );
+    }
+}

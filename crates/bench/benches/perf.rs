@@ -1,0 +1,112 @@
+//! Criterion performance benches + the ablation measurements DESIGN.md
+//! calls out: fluid vs cell-level queue cost, generator throughput per
+//! model, CTS search and Yule-Walker fit cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vbr_asymptotics::cts::critical_time_scale_with;
+use vbr_asymptotics::{SourceStats, VarianceFunction};
+use vbr_core::matching::fit_dar;
+use vbr_core::paper;
+use vbr_models::{FgnGenerator, FrameProcess, Marginal};
+use vbr_sim::{CellMultiplexer, FluidQueue};
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+fn generator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.throughput(Throughput::Elements(1));
+
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(1);
+
+    let mut dar = paper::build_s(0.975, 1);
+    group.bench_function("dar1_frame", |b| {
+        b.iter(|| dar.next_frame(&mut rng));
+    });
+
+    let mut z = paper::build_z(0.975);
+    group.bench_function("z_frame(fbndp+dar)", |b| {
+        b.iter(|| z.next_frame(&mut rng));
+    });
+
+    let mut l = paper::build_l();
+    group.bench_function("l_frame(fbndp_m30)", |b| {
+        b.iter(|| l.next_frame(&mut rng));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fgn");
+    let gen = FgnGenerator::new(0.9, 1.0, 16_384);
+    group.throughput(Throughput::Elements(16_384));
+    group.bench_function("davies_harte_block_16k", |b| {
+        b.iter(|| gen.generate(&mut rng));
+    });
+    group.finish();
+}
+
+fn queue_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the fluid frame-level queue vs the slotted
+    // cell-level queue on identical arrivals (N = 30, c = 538).
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(2);
+    let mut proto = vbr_models::IidProcess::new(Marginal::paper_gaussian());
+    let frames: Vec<f64> = (0..2_000)
+        .map(|_| (0..30).map(|_| proto.next_frame(&mut rng)).sum::<f64>())
+        .collect();
+    let per_source: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..30).map(|_| proto.next_frame(&mut rng)).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("queue_ablation");
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("fluid_2k_frames", |b| {
+        b.iter_batched(
+            || FluidQueue::finite(30.0 * 538.0, 2_000.0),
+            |mut q| {
+                for &x in &frames {
+                    q.offer(x);
+                }
+                q.account()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("cell_level_2k_frames", |b| {
+        b.iter_batched(
+            || CellMultiplexer::new(30 * 538, 2_000),
+            |mut q| {
+                for row in &per_source {
+                    q.offer_frame(row);
+                }
+                q.lost()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn analysis_cost(c: &mut Criterion) {
+    let z = paper::build_z(0.975);
+    let stats = SourceStats::from_process(&z, 32_768);
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("variance_function_32k", |b| {
+        b.iter(|| VarianceFunction::new(&stats));
+    });
+
+    let v = VarianceFunction::new(&stats);
+    group.bench_function("cts_search", |b| {
+        b.iter(|| critical_time_scale_with(&v, stats.mean, 538.0, 300.0));
+    });
+
+    let acf = z.autocorrelations(8);
+    group.bench_function("dar3_yule_walker_fit", |b| {
+        b.iter(|| fit_dar(&acf, 3, Marginal::paper_gaussian()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = generator_throughput, queue_ablation, analysis_cost
+}
+criterion_main!(benches);

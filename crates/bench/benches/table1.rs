@@ -1,0 +1,39 @@
+//! Regenerates the paper's Table 1 (model parameter specification) from the
+//! first-principles solvers, annotating each derived value with the value
+//! the paper prints.
+
+use vbr_core::experiments::table1;
+
+fn main() {
+    vbr_bench::preamble(
+        "Table 1: specification of model parameters of V^v, Z^a, S, and L",
+        "Every value below is *derived* (lambda, T0, a(v), DAR fits, alpha_L);\n\
+         paper-printed values shown for comparison where available.",
+    );
+    println!(
+        "{:<28} {:>6} {:>7} {:>10} {:>12} {:>9} {:>4}  lag probs",
+        "model", "v", "alpha", "a|rho", "lambda c/s", "T0 msec", "M"
+    );
+    for row in table1() {
+        println!(
+            "{:<28} {:>6} {:>7} {:>10} {:>12} {:>9} {:>4}  {}",
+            row.model,
+            row.v.map(|v| format!("{v}")).unwrap_or_default(),
+            row.alpha.map(|a| format!("{a:.4}")).unwrap_or_default(),
+            row.a_or_rho.map(|a| format!("{a:.6}")).unwrap_or_default(),
+            row.lambda.map(|l| format!("{l:.0}")).unwrap_or_default(),
+            row.t0_ms.map(|t| format!("{t:.3}")).unwrap_or_default(),
+            row.m.map(|m| format!("{m}")).unwrap_or_default(),
+            row.lag_probs
+                .map(|p| p.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>().join(" "))
+                .unwrap_or_default(),
+        );
+    }
+    println!();
+    println!("Paper Table 1 reference values:");
+    println!("  V^v:  a = 0.799761 / 0.8 / 0.800362, lambda = 5000/6250/7500, T0 = 3.48 ms, M = 15");
+    println!("  Z^a:  alpha = 0.8, lambda = 6250, T0 = 2.57 ms, M = 15");
+    println!("  L:    alpha = 0.72, lambda = 12500, T0 = 1.83 ms, M = 30");
+    println!("  S(Z^0.7):   DAR(1) rho=0.68 | DAR(2) rho=0.72 (0.84,0.16) | DAR(3) rho=0.73 (0.82,0.10,0.08)");
+    println!("  S(Z^0.975): DAR(1) rho=0.82 | DAR(2) rho=0.87 (0.70,0.30) | DAR(3) rho=0.89 (0.63,0.18,0.19)");
+}

@@ -1,0 +1,126 @@
+//! Shared output plumbing for the figure-regeneration bench targets.
+//!
+//! Every bench target (`cargo bench -p vbr-bench --bench figN`) prints the
+//! regenerated table/figure to stdout in the paper's row/series layout and
+//! also writes a CSV under `paper_output/` (override with `VBR_OUT`), so the
+//! EXPERIMENTS.md comparisons can be re-generated mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use vbr_core::experiments::Series;
+
+/// Output directory for CSVs: `VBR_OUT` env var if set, otherwise
+/// `paper_output/` at the *workspace root* (cargo bench runs with the
+/// package directory as CWD, which is not where anyone would look).
+pub fn out_dir() -> PathBuf {
+    let path = match std::env::var("VBR_OUT") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => {
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(|ws| ws.join("paper_output"))
+                .unwrap_or_else(|| PathBuf::from("paper_output"))
+        }
+    };
+    fs::create_dir_all(&path).expect("create output dir");
+    path
+}
+
+/// Prints a set of series sharing an x-grid as an aligned table and writes
+/// `<name>.csv` into [`out_dir`].
+pub fn emit(name: &str, title: &str, x_label: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    print!("{x_label:>12}");
+    for s in series {
+        print!("  {:>14}", truncate(&s.label, 14));
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        print!("{x:>12.4}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => print!("  {y:>14.6e}"),
+                None => print!("  {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    write!(f, "{x_label}").unwrap();
+    for s in series {
+        write!(f, ",{}", s.label.replace(',', ";")).unwrap();
+    }
+    writeln!(f).unwrap();
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        write!(f, "{x}").unwrap();
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => write!(f, ",{y}").unwrap(),
+                None => write!(f, ",").unwrap(),
+            }
+        }
+        writeln!(f).unwrap();
+    }
+    println!("[csv written to {}]", path.display());
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n.saturating_sub(1)).collect::<String>() + "~"
+    }
+}
+
+/// Standard preamble: prints what the target reproduces and at what scale.
+pub fn preamble(what: &str, note: &str) {
+    println!("----------------------------------------------------------------");
+    println!("Reproducing {what}");
+    println!("(Ryu & Elwalid, SIGCOMM '96 — LRD of VBR video: myths & realities)");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!("----------------------------------------------------------------");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_behaviour() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("a-very-long-label", 8), "a-very-~");
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        std::env::set_var("VBR_OUT", std::env::temp_dir().join("vbr_test_out"));
+        let series = vec![Series {
+            label: "demo".into(),
+            points: vec![(1.0, 2.0), (2.0, 4.0)],
+        }];
+        emit("unit_test_demo", "demo", "x", &series);
+        let path = out_dir().join("unit_test_demo.csv");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("x,demo"));
+        assert!(body.contains("1,2"));
+    }
+}

@@ -1,0 +1,182 @@
+//! DAR(p) matching — fitting the paper's model `S`.
+//!
+//! Given a target ACF `r(1..p)`, find DAR(p) parameters `(ρ, a₁..a_p)` whose
+//! process matches those correlations exactly. The DAR(p) ACF obeys the
+//! AR(p)-type recursion `r(k) = Σᵢ bᵢ r(|k−i|)` with `bᵢ = ρ·aᵢ`, so the fit
+//! is a Yule–Walker solve: `R·b = r` with `R` the Toeplitz correlation
+//! matrix, then `ρ = Σᵢ bᵢ` and `aᵢ = bᵢ/ρ`.
+//!
+//! Not every ACF is DAR(p)-matchable: the construction needs `aᵢ ≥ 0` and
+//! `0 ≤ ρ < 1`. The error type reports exactly which constraint failed so
+//! callers can drop to a smaller p (the paper only needs p ≤ 3).
+
+use vbr_models::{DarParams, Marginal};
+use vbr_stats::linalg::solve_toeplitz;
+
+/// Why a DAR(p) fit can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The Yule–Walker system was singular (degenerate target ACF).
+    SingularSystem,
+    /// A fitted lag weight came out negative: the target's correlation
+    /// pattern cannot be realized by value-repetition at positive lags.
+    NegativeLagWeight {
+        /// The offending lag (1-based).
+        lag: usize,
+        /// Its fitted (negative) weight before normalization.
+        weight: f64,
+    },
+    /// The fitted ρ left `[0, 1)`: the target is too strongly (or
+    /// negatively) correlated for a DAR process.
+    RhoOutOfRange(
+        /// The fitted ρ.
+        f64,
+    ),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::SingularSystem => write!(f, "Yule-Walker system is singular"),
+            FitError::NegativeLagWeight { lag, weight } => {
+                write!(f, "fitted weight for lag {lag} is negative ({weight})")
+            }
+            FitError::RhoOutOfRange(rho) => write!(f, "fitted rho {rho} outside [0,1)"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fits a DAR(p) to match `target_acf[1..=p]` exactly.
+///
+/// `target_acf` must start with `r(0) = 1` and contain at least `p + 1`
+/// entries. The returned parameters carry the supplied marginal (the DAR
+/// construction decouples marginal from correlation, so any marginal works).
+///
+/// # Panics
+/// Panics if the slice is too short or `p == 0`.
+pub fn fit_dar(target_acf: &[f64], p: usize, marginal: Marginal) -> Result<DarParams, FitError> {
+    assert!(p >= 1, "order must be at least 1");
+    assert!(
+        target_acf.len() > p,
+        "need r(0..={p}), got {} entries",
+        target_acf.len()
+    );
+    assert!(
+        (target_acf[0] - 1.0).abs() < 1e-9,
+        "target_acf[0] must be 1"
+    );
+
+    // Yule-Walker: R b = r, R[i][j] = r(|i-j|) (i,j over 0..p-1),
+    // rhs r = (r(1), ..., r(p)).
+    let first_col: Vec<f64> = target_acf[..p].to_vec();
+    let rhs: Vec<f64> = target_acf[1..=p].to_vec();
+    let b = solve_toeplitz(&first_col, &rhs).ok_or(FitError::SingularSystem)?;
+
+    let rho: f64 = b.iter().sum();
+    if !(0.0..1.0).contains(&rho) {
+        return Err(FitError::RhoOutOfRange(rho));
+    }
+    for (i, &bi) in b.iter().enumerate() {
+        if bi < -1e-12 {
+            return Err(FitError::NegativeLagWeight {
+                lag: i + 1,
+                weight: bi,
+            });
+        }
+    }
+    let lag_probs: Vec<f64> = b.iter().map(|&bi| (bi / rho).max(0.0)).collect();
+    // Renormalize away the clamping dust.
+    let total: f64 = lag_probs.iter().sum();
+    let lag_probs = lag_probs.into_iter().map(|a| a / total).collect();
+
+    Ok(DarParams {
+        rho,
+        lag_probs,
+        marginal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_models::DarProcess;
+
+    #[test]
+    fn fit_recovers_dar1_exactly() {
+        let target: Vec<f64> = (0..6).map(|k| 0.8_f64.powi(k)).collect();
+        let fit = fit_dar(&target, 1, Marginal::paper_gaussian()).unwrap();
+        assert!((fit.rho - 0.8).abs() < 1e-12);
+        assert_eq!(fit.lag_probs, vec![1.0]);
+    }
+
+    #[test]
+    fn fit_recovers_dar3_roundtrip() {
+        // Build a DAR(3) ACF, fit it back, parameters must match.
+        let rho = 0.89;
+        let a = [0.63, 0.18, 0.19];
+        let acf = DarProcess::acf_from_params(rho, &a, 10);
+        let fit = fit_dar(&acf, 3, Marginal::paper_gaussian()).unwrap();
+        assert!((fit.rho - rho).abs() < 1e-9, "rho {}", fit.rho);
+        for (got, want) in fit.lag_probs.iter().zip(&a) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fitted_model_matches_first_p_correlations() {
+        // Target: a mixture ACF (not itself a DAR) — geometric + power tail.
+        let target: Vec<f64> = (0..20)
+            .map(|k| {
+                if k == 0 {
+                    1.0
+                } else {
+                    0.5 * 0.9_f64.powi(k) + 0.3 * (k as f64).powf(-0.2)
+                }
+            })
+            .collect();
+        for p in 1..=3 {
+            let fit = fit_dar(&target, p, Marginal::paper_gaussian()).unwrap();
+            let acf = DarProcess::acf_from_params(fit.rho, &fit.lag_probs, p);
+            for k in 1..=p {
+                assert!(
+                    (acf[k] - target[k]).abs() < 1e-9,
+                    "p={p} lag {k}: {} vs {}",
+                    acf[k],
+                    target[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_acf_is_rejected() {
+        // Negative lag-1 correlation cannot be matched by value repetition.
+        let target = vec![1.0, -0.5, 0.25];
+        let err = fit_dar(&target, 1, Marginal::paper_gaussian()).unwrap_err();
+        assert!(matches!(err, FitError::RhoOutOfRange(_)), "{err}");
+    }
+
+    #[test]
+    fn fast_second_lag_decay_fails_with_negative_weight() {
+        // A valid ACF (partial correlations inside (-1,1)) whose r(2) decays
+        // much faster than r(1)^2 forces a negative b_2: not DAR-matchable.
+        let target = vec![1.0, 0.9, 0.65];
+        let err = fit_dar(&target, 2, Marginal::paper_gaussian()).unwrap_err();
+        assert!(
+            matches!(err, FitError::NegativeLagWeight { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = FitError::NegativeLagWeight {
+            lag: 2,
+            weight: -0.1,
+        };
+        assert!(e.to_string().contains("lag 2"));
+        assert!(FitError::RhoOutOfRange(1.2).to_string().contains("1.2"));
+    }
+}

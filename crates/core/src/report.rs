@@ -1,0 +1,211 @@
+//! Traffic-engineering profile reports.
+//!
+//! One call turns any [`FrameProcess`] (model or recorded trace) into the
+//! summary an ATM capacity planner would want on one page: first/second
+//! order statistics, Hurst diagnostics from a generated path, the CTS
+//! table over the practical buffer range, and the dimensioning table
+//! (required buffer / effective bandwidth) at standard loss targets.
+//! The `traffic_report` example renders it for the paper's models.
+
+use std::fmt::Write as _;
+use vbr_asymptotics::bop::{buffer_delay_ms, buffer_from_delay_ms};
+use vbr_asymptotics::cts::critical_time_scale_with;
+use vbr_asymptotics::dimensioning::{required_bandwidth, required_buffer};
+use vbr_asymptotics::{bahadur_rao_bop, SourceStats, VarianceFunction};
+use vbr_models::FrameProcess;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+use vbr_stats::{aggregated_variance_hurst, local_whittle_hurst};
+
+/// Everything the report needs to know about the operating environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportConfig {
+    /// Number of multiplexed sources.
+    pub n_sources: usize,
+    /// Per-source bandwidth (cells/frame).
+    pub capacity_per_source: f64,
+    /// Frame duration (sec).
+    pub ts: f64,
+    /// ACF horizon for the analysis.
+    pub acf_horizon: usize,
+    /// Path length used for the empirical Hurst diagnostics.
+    pub diagnostic_frames: usize,
+    /// Seed for the diagnostic path.
+    pub seed: u64,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        Self {
+            n_sources: 30,
+            capacity_per_source: 538.0,
+            ts: crate::paper::TS,
+            acf_horizon: 32_768,
+            diagnostic_frames: 65_536,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// The computed profile (also renderable as text via [`TrafficReport::render`]).
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Model label.
+    pub label: String,
+    /// Analytic mean (cells/frame).
+    pub mean: f64,
+    /// Analytic variance.
+    pub variance: f64,
+    /// Analytic r(1), r(10), r(100).
+    pub acf_points: [f64; 3],
+    /// Aggregated-variance Hurst estimate from a generated path.
+    pub hurst_aggvar: f64,
+    /// Local-Whittle Hurst estimate from the same path.
+    pub hurst_whittle: f64,
+    /// (buffer ms, CTS, B-R BOP) over the practical range.
+    pub cts_table: Vec<(f64, usize, f64)>,
+    /// (loss target, required buffer ms, effective bandwidth cells/frame).
+    pub dimensioning: Vec<(f64, Option<f64>, Option<f64>)>,
+}
+
+impl TrafficReport {
+    /// Builds the profile. Generates `diagnostic_frames` frames for the
+    /// empirical Hurst estimates (the analytic parts need no sampling).
+    pub fn build(process: &dyn FrameProcess, config: &ReportConfig) -> Self {
+        let stats = SourceStats::from_process(process, config.acf_horizon);
+        let v = VarianceFunction::new(&stats);
+        let c = config.capacity_per_source;
+        let n = config.n_sources;
+
+        // Diagnostics path.
+        let mut path_model = process.boxed_clone();
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(config.seed);
+        path_model.reset(&mut rng);
+        let path: Vec<f64> = (0..config.diagnostic_frames)
+            .map(|_| path_model.next_frame(&mut rng))
+            .collect();
+        let hurst_aggvar = aggregated_variance_hurst(&path).h;
+        let hurst_whittle = local_whittle_hurst(&path, 0);
+
+        let acf = process.autocorrelations(100);
+        let cts_table = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0]
+            .iter()
+            .map(|&ms| {
+                let b = buffer_from_delay_ms(ms, c, config.ts);
+                let cts = critical_time_scale_with(&v, stats.mean, c, b);
+                let bop = bahadur_rao_bop(&stats, c, b, n);
+                (ms, cts.m_star, bop)
+            })
+            .collect();
+
+        let dimensioning = [1e-4, 1e-6, 1e-8]
+            .iter()
+            .map(|&target| {
+                let buf = required_buffer(&stats, c, n, target)
+                    .map(|b| buffer_delay_ms(b, c, config.ts));
+                let bw = required_bandwidth(
+                    &stats,
+                    buffer_from_delay_ms(2.0, c, config.ts),
+                    n,
+                    target,
+                );
+                (target, buf, bw)
+            })
+            .collect();
+
+        Self {
+            label: process.label(),
+            mean: stats.mean,
+            variance: stats.variance,
+            acf_points: [acf[1], acf[10], acf[100]],
+            hurst_aggvar,
+            hurst_whittle,
+            cts_table,
+            dimensioning,
+        }
+    }
+
+    /// Renders as a plain-text page.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== traffic profile: {} ===", self.label);
+        let _ = writeln!(
+            out,
+            "marginal: mean {:.1} cells/frame, sd {:.1}",
+            self.mean,
+            self.variance.sqrt()
+        );
+        let _ = writeln!(
+            out,
+            "ACF: r(1) = {:.3}, r(10) = {:.3}, r(100) = {:.3}",
+            self.acf_points[0], self.acf_points[1], self.acf_points[2]
+        );
+        let _ = writeln!(
+            out,
+            "Hurst (path diagnostics): aggregated-variance {:.2}, local Whittle {:.2}",
+            self.hurst_aggvar, self.hurst_whittle
+        );
+        let _ = writeln!(out, "\n  buffer   CTS m*      B-R BOP");
+        for &(ms, m, bop) in &self.cts_table {
+            let _ = writeln!(out, "  {ms:>5.1}ms {m:>7}   {bop:>10.3e}");
+        }
+        let _ = writeln!(out, "\n  target     buffer needed   eff. bandwidth @2ms");
+        for &(t, buf, bw) in &self.dimensioning {
+            let buf = buf
+                .map(|b| format!("{b:.2} ms"))
+                .unwrap_or_else(|| "infeasible".into());
+            let bw = bw
+                .map(|c| format!("{c:.1} cells/frame"))
+                .unwrap_or_else(|| "infeasible".into());
+            let _ = writeln!(out, "  {t:>8.0e}   {buf:>13}   {bw}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn small_config() -> ReportConfig {
+        ReportConfig {
+            acf_horizon: 8_192,
+            diagnostic_frames: 16_384,
+            ..ReportConfig::default()
+        }
+    }
+
+    #[test]
+    fn report_for_dar_fit() {
+        let model = paper::build_s(0.975, 1);
+        let r = TrafficReport::build(&model, &small_config());
+        assert_eq!(r.label, "DAR(1)");
+        assert!((r.mean - 500.0).abs() < 1e-6);
+        assert!((r.acf_points[0] - 0.821).abs() < 0.001);
+        // SRD: both Hurst estimates near 1/2.
+        assert!(r.hurst_aggvar < 0.72, "aggvar H {}", r.hurst_aggvar);
+        // CTS non-decreasing, BOP non-increasing down the table.
+        for w in r.cts_table.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].2 <= w[0].2 * 1.0001);
+        }
+        // Tighter targets need more of both resources.
+        let bufs: Vec<f64> = r.dimensioning.iter().filter_map(|&(_, b, _)| b).collect();
+        assert!(bufs.windows(2).all(|w| w[1] >= w[0]));
+        let render = r.render();
+        assert!(render.contains("traffic profile"));
+        assert!(render.contains("eff. bandwidth"));
+    }
+
+    #[test]
+    fn report_flags_lrd_source() {
+        let model = paper::build_z(0.975);
+        let r = TrafficReport::build(&model, &small_config());
+        assert!(
+            r.hurst_aggvar > 0.7,
+            "Z^0.975 should profile as LRD, H {}",
+            r.hurst_aggvar
+        );
+        assert!(r.acf_points[2] > 0.1, "r(100) {}", r.acf_points[2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Gaussian AR(1) — the short-range-dependent baseline of Addie et al. and
+//! Courcoubetis & Weber (paper footnote 4 and §4.2: the CTS of a Gaussian
+//! AR(1) grows like `b/(c−μ)`).
+//!
+//! `X_n = μ + φ(X_{n−1} − μ) + √(1−φ²)·σ·ε_n`, `ε ~ N(0,1)`, started in the
+//! stationary distribution `N(μ, σ²)`; ACF is exactly `φᵏ`.
+
+use crate::traits::FrameProcess;
+use rand::RngCore;
+use vbr_stats::dist::Normal;
+
+/// Gaussian AR(1) frame-size process.
+#[derive(Debug, Clone)]
+pub struct GaussianAr1 {
+    mean: f64,
+    sd: f64,
+    phi: f64,
+    state: f64,
+    initialized: bool,
+}
+
+impl GaussianAr1 {
+    /// Creates a stationary Gaussian AR(1) with the given marginal moments
+    /// and lag-1 correlation `phi ∈ (−1, 1)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn new(mean: f64, sd: f64, phi: f64) -> Self {
+        assert!(sd > 0.0 && sd.is_finite(), "invalid sd {sd}");
+        assert!(phi > -1.0 && phi < 1.0, "phi must be in (-1,1), got {phi}");
+        assert!(mean.is_finite(), "invalid mean {mean}");
+        Self {
+            mean,
+            sd,
+            phi,
+            state: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// The lag-1 correlation φ.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+}
+
+impl FrameProcess for GaussianAr1 {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
+        let mut nrm = Normal::new(0.0, 1.0);
+        if !self.initialized {
+            self.state = self.mean + self.sd * nrm.standard(rng);
+            self.initialized = true;
+            return self.state;
+        }
+        let innovation_sd = self.sd * (1.0 - self.phi * self.phi).sqrt();
+        self.state = self.mean + self.phi * (self.state - self.mean)
+            + innovation_sd * nrm.standard(rng);
+        self.state
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        (0..=max_lag).map(|k| self.phi.powi(k as i32)).collect()
+    }
+
+    fn reset(&mut self, _rng: &mut dyn RngCore) {
+        self.initialized = false;
+    }
+
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        format!("AR(1) phi={}", self.phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::check_analytic_consistency;
+
+    #[test]
+    fn matches_analytics() {
+        let mut p = GaussianAr1::new(500.0, 5000.0_f64.sqrt(), 0.8);
+        check_analytic_consistency(&mut p, 111, 400_000, 6, 2.0, 0.05, 0.02);
+    }
+
+    #[test]
+    fn negative_phi_allowed() {
+        let mut p = GaussianAr1::new(0.0, 1.0, -0.5);
+        check_analytic_consistency(&mut p, 112, 200_000, 4, 0.02, 0.05, 0.02);
+        let r = p.autocorrelations(3);
+        assert!(r[1] < 0.0 && r[2] > 0.0 && r[3] < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unit_root() {
+        GaussianAr1::new(0.0, 1.0, 1.0);
+    }
+}

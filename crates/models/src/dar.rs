@@ -1,0 +1,335 @@
+//! The DAR(p) process of Jacobs & Lewis — the paper's Markov / SRD model.
+//!
+//! `S_n = V_n · S_{n−A_n} + (1 − V_n) · ε_n`, where `V_n ~ Bernoulli(ρ)`,
+//! `A_n` picks a lag in `{1..p}` with probabilities `a_1..a_p`, and `ε_n` is
+//! i.i.d. with the desired marginal. The construction's appeal — and the
+//! reason the paper leans on it — is that the marginal distribution and the
+//! correlation structure are decoupled: the stationary marginal is exactly
+//! the distribution of `ε`, while `(ρ, a)` alone set the ACF through the
+//! AR(p)-type Yule–Walker recursion
+//!
+//! `r(k) = ρ · Σ_{i=1..p} a_i · r(|k − i|)`,  `k ≥ 1`, `r(0) = 1`.
+//!
+//! A DAR(1) therefore has `r(k) = ρᵏ` — pure geometric decay, Hurst ½.
+
+use crate::marginal::Marginal;
+use crate::traits::FrameProcess;
+use rand::{Rng, RngCore};
+use std::collections::VecDeque;
+use vbr_stats::dist::AliasTable;
+
+/// Parameters of a DAR(p) process.
+#[derive(Debug, Clone)]
+pub struct DarParams {
+    /// Probability ρ of repeating a past value (for DAR(1), the lag-1
+    /// autocorrelation).
+    pub rho: f64,
+    /// Lag-selection probabilities `a_1..a_p`; must sum to 1.
+    pub lag_probs: Vec<f64>,
+    /// Frame-size marginal distribution.
+    pub marginal: Marginal,
+}
+
+impl DarParams {
+    /// DAR(1) shorthand.
+    pub fn dar1(rho: f64, marginal: Marginal) -> Self {
+        Self {
+            rho,
+            lag_probs: vec![1.0],
+            marginal,
+        }
+    }
+
+    /// Order p of the process.
+    pub fn order(&self) -> usize {
+        self.lag_probs.len()
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.rho),
+            "rho must be in [0, 1), got {}",
+            self.rho
+        );
+        assert!(!self.lag_probs.is_empty(), "DAR(p) needs p >= 1");
+        let sum: f64 = self.lag_probs.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "lag probabilities must sum to 1, got {sum}"
+        );
+        for &a in &self.lag_probs {
+            assert!((0.0..=1.0).contains(&a), "invalid lag probability {a}");
+        }
+        self.marginal.validate();
+    }
+}
+
+/// A running DAR(p) sample-path generator with analytic statistics.
+#[derive(Debug, Clone)]
+pub struct DarProcess {
+    params: DarParams,
+    alias: AliasTable,
+    /// Last p values, most recent at the back.
+    history: VecDeque<f64>,
+    initialized: bool,
+}
+
+impl DarProcess {
+    /// Builds a DAR(p) process. History is lazily initialized with i.i.d.
+    /// draws from the marginal on first use (the marginal *is* the stationary
+    /// distribution, so the path is stationary from the first frame; joint
+    /// lag correlations settle within a few multiples of p frames and
+    /// [`FrameProcess::reset`] re-draws the history for each replication).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (ρ ∉ [0,1), probabilities not summing
+    /// to 1, invalid marginal).
+    pub fn new(params: DarParams) -> Self {
+        params.validate();
+        let alias = AliasTable::new(&params.lag_probs);
+        let p = params.order();
+        Self {
+            params,
+            alias,
+            history: VecDeque::with_capacity(p),
+            initialized: false,
+        }
+    }
+
+    /// The parameters this process was built with.
+    pub fn params(&self) -> &DarParams {
+        &self.params
+    }
+
+    fn ensure_init(&mut self, rng: &mut dyn RngCore) {
+        if !self.initialized {
+            self.history.clear();
+            for _ in 0..self.params.order() {
+                self.history.push_back(self.params.marginal.sample(rng));
+            }
+            self.initialized = true;
+        }
+    }
+
+    /// Analytic ACF via the Yule–Walker-type recursion; exposed as an
+    /// associated function so the matching code can evaluate candidate
+    /// parameter sets without constructing a process.
+    ///
+    /// The recursion `r(k) = Σᵢ bᵢ r(|k−i|)` (with `bᵢ = ρ aᵢ`) is *implicit*
+    /// for the first p lags — e.g. for p = 3, `r(1)` depends on `r(2)` — so
+    /// lags `1..p` are solved as a linear system first, then lags beyond p
+    /// follow by forward recursion.
+    pub fn acf_from_params(rho: f64, lag_probs: &[f64], max_lag: usize) -> Vec<f64> {
+        let p = lag_probs.len();
+        let b: Vec<f64> = lag_probs.iter().map(|&a| rho * a).collect();
+        let mut r = Vec::with_capacity(max_lag + 1);
+        r.push(1.0);
+        if max_lag == 0 {
+            return r;
+        }
+
+        if p == 1 {
+            for k in 1..=max_lag {
+                r.push(b[0] * r[k - 1]);
+            }
+            return r;
+        }
+
+        // Joint solve of r(1..p): for each k in 1..p,
+        //   r(k) − Σ_{i≠k} b_i r(|k−i|) = b_k · r(0).
+        let mut mat = vec![0.0; p * p];
+        let mut rhs = vec![0.0; p];
+        for k in 1..=p {
+            mat[(k - 1) * p + (k - 1)] += 1.0;
+            for i in 1..=p {
+                if i == k {
+                    continue;
+                }
+                let j = k.abs_diff(i); // 1..=p-1
+                mat[(k - 1) * p + (j - 1)] -= b[i - 1];
+            }
+            rhs[k - 1] = b[k - 1];
+        }
+        let head = vbr_stats::linalg::solve_dense(&mat, &rhs, p)
+            .expect("DAR(p) Yule-Walker head system is nonsingular for rho < 1");
+        r.extend(head.iter().take(max_lag));
+
+        for k in (p + 1)..=max_lag {
+            let val: f64 = (1..=p).map(|i| b[i - 1] * r[k - i]).sum();
+            r.push(val);
+        }
+        r
+    }
+}
+
+impl FrameProcess for DarProcess {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
+        self.ensure_init(rng);
+        let value = if rng.gen::<f64>() < self.params.rho {
+            // Repeat the value from A_n frames ago: alias sample i maps to
+            // lag i+1, i.e. history index (p - 1 - i) from the back.
+            let lag = self.alias.sample(rng) + 1;
+            self.history[self.history.len() - lag]
+        } else {
+            self.params.marginal.sample(rng)
+        };
+        self.history.pop_front();
+        self.history.push_back(value);
+        value
+    }
+
+    fn mean(&self) -> f64 {
+        self.params.marginal.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.params.marginal.variance()
+    }
+
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        Self::acf_from_params(self.params.rho, &self.params.lag_probs, max_lag)
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.initialized = false;
+        self.ensure_init(rng);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        format!("DAR({})", self.params.order())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::check_analytic_consistency;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn dar1_acf_is_geometric() {
+        let r = DarProcess::acf_from_params(0.8, &[1.0], 6);
+        for (k, &v) in r.iter().enumerate() {
+            assert!((v - 0.8_f64.powi(k as i32)).abs() < 1e-12, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn dar2_acf_satisfies_recursion() {
+        let rho = 0.87;
+        let a = [0.7, 0.3];
+        let r = DarProcess::acf_from_params(rho, &a, 20);
+        // r(1) = rho (a1 r(0) + a2 r(1)) => r(1) = rho a1/(1 - rho a2)
+        let expect_r1 = rho * a[0] / (1.0 - rho * a[1]);
+        assert!((r[1] - expect_r1).abs() < 1e-12, "r1 {} vs {expect_r1}", r[1]);
+        for k in 2..=20 {
+            let expect = rho * (a[0] * r[k - 1] + a[1] * r[k - 2]);
+            assert!((r[k] - expect).abs() < 1e-12, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn acf_stays_in_unit_interval_and_decays() {
+        let r = DarProcess::acf_from_params(0.99, &[0.5, 0.3, 0.2], 500);
+        for (k, &v) in r.iter().enumerate().skip(1) {
+            assert!(v > 0.0 && v < 1.0, "lag {k}: {v}");
+        }
+        assert!(r[500] < r[1], "must decay overall");
+    }
+
+    #[test]
+    fn sample_path_matches_analytics_dar1() {
+        let mut p = DarProcess::new(DarParams::dar1(0.7, Marginal::paper_gaussian()));
+        check_analytic_consistency(&mut p, 71, 400_000, 5, 1.5, 0.05, 0.02);
+    }
+
+    #[test]
+    fn sample_path_matches_analytics_dar3() {
+        let mut p = DarProcess::new(DarParams {
+            rho: 0.89,
+            lag_probs: vec![0.63, 0.18, 0.19],
+            marginal: Marginal::paper_gaussian(),
+        });
+        check_analytic_consistency(&mut p, 72, 400_000, 8, 2.5, 0.08, 0.03);
+    }
+
+    #[test]
+    fn marginal_preserved_under_high_rho() {
+        // Strong correlation must not distort the marginal: mean/var of the
+        // path equal the marginal's, only mixing is slower.
+        let mut p = DarProcess::new(DarParams::dar1(0.975, Marginal::paper_gaussian()));
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(73);
+        let mut m = vbr_stats::Moments::new();
+        for _ in 0..2_000_000 {
+            m.push(p.next_frame(&mut rng));
+        }
+        assert!((m.mean() - 500.0).abs() < 3.0, "mean {}", m.mean());
+        assert!(
+            (m.variance() - 5000.0).abs() < 0.1 * 5000.0,
+            "var {}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn reset_gives_independent_realizations() {
+        let mut p = DarProcess::new(DarParams::dar1(0.9, Marginal::paper_gaussian()));
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(74);
+        let a: Vec<f64> = (0..50).map(|_| p.next_frame(&mut rng)).collect();
+        p.reset(&mut rng);
+        let b: Vec<f64> = (0..50).map(|_| p.next_frame(&mut rng)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let make = || DarProcess::new(DarParams::dar1(0.9, Marginal::paper_gaussian()));
+        let mut p1 = make();
+        let mut p2 = make();
+        let mut r1 = Xoshiro256PlusPlus::from_seed_u64(75);
+        let mut r2 = Xoshiro256PlusPlus::from_seed_u64(75);
+        for _ in 0..100 {
+            assert_eq!(p1.next_frame(&mut r1), p2.next_frame(&mut r2));
+        }
+    }
+
+    #[test]
+    fn zero_rho_is_iid() {
+        let mut p = DarProcess::new(DarParams::dar1(0.0, Marginal::paper_gaussian()));
+        let r = p.autocorrelations(5);
+        for &v in &r[1..] {
+            assert_eq!(v, 0.0);
+        }
+        check_analytic_consistency(&mut p, 76, 100_000, 3, 1.5, 0.05, 0.02);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_rho_one() {
+        DarProcess::new(DarParams::dar1(1.0, Marginal::paper_gaussian()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_lag_probs() {
+        DarProcess::new(DarParams {
+            rho: 0.5,
+            lag_probs: vec![0.5, 0.4],
+            marginal: Marginal::paper_gaussian(),
+        });
+    }
+
+    #[test]
+    fn label_shows_order() {
+        let p = DarProcess::new(DarParams {
+            rho: 0.5,
+            lag_probs: vec![0.6, 0.4],
+            marginal: Marginal::paper_gaussian(),
+        });
+        assert_eq!(p.label(), "DAR(2)");
+    }
+}

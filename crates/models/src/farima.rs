@@ -1,0 +1,214 @@
+//! Fractional ARIMA(0, d, 0) — the paper's §2 example of an *asymptotic*
+//! LRD process.
+//!
+//! F-ARIMA(0,d,0) is white noise passed through the fractional difference
+//! operator `(1−B)^{-d}` with `d = H − ½ ∈ (0, ½)`. Its ACF has the closed
+//! form
+//!
+//! ```text
+//! r(k) = Γ(1−d)·Γ(k+d) / (Γ(d)·Γ(k+1−d))
+//!      = r(k−1)·(k−1+d)/(k−d),     r(0) = 1,
+//! ```
+//!
+//! which decays like `k^{2H−2}` *asymptotically* (vs the exact-LRD models
+//! whose whole ACF is the power-law second difference) — exactly the
+//! asymptotic/exact distinction the paper draws in §2. Generation reuses
+//! the circulant-embedding machinery (exact Gaussian blocks, any PSD ACF),
+//! so paths are exact in distribution within a block.
+
+use crate::fgn::CirculantGenerator;
+use crate::traits::FrameProcess;
+use rand::RngCore;
+
+/// Analytic F-ARIMA(0,d,0) autocorrelations `r(0..=max_lag)`.
+///
+/// # Panics
+/// Panics unless `d ∈ (0, 0.5)`.
+pub fn farima_acf(d: f64, max_lag: usize) -> Vec<f64> {
+    assert!(d > 0.0 && d < 0.5, "d must be in (0, 0.5), got {d}");
+    let mut r = Vec::with_capacity(max_lag + 1);
+    r.push(1.0);
+    for k in 1..=max_lag {
+        let kf = k as f64;
+        let prev = r[k - 1];
+        r.push(prev * (kf - 1.0 + d) / (kf - d));
+    }
+    r
+}
+
+/// An F-ARIMA(0, d, 0) frame-size process with Gaussian marginal.
+#[derive(Debug, Clone)]
+pub struct FarimaProcess {
+    d: f64,
+    mean: f64,
+    sd: f64,
+    generator: CirculantGenerator,
+    acf_cache_lag: usize,
+    buffer: Vec<f64>,
+    pos: usize,
+}
+
+impl FarimaProcess {
+    /// Creates the process with marginal `N(mean, sd²)`, memory parameter
+    /// `d = H − ½ ∈ (0, ½)`, and power-of-two generation block length.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn new(mean: f64, sd: f64, d: f64, block_len: usize) -> Self {
+        assert!(sd > 0.0 && sd.is_finite(), "invalid sd {sd}");
+        assert!(mean.is_finite(), "invalid mean {mean}");
+        let acf = farima_acf(d, block_len);
+        Self {
+            d,
+            mean,
+            sd,
+            generator: CirculantGenerator::from_autocovariance(&acf),
+            acf_cache_lag: block_len,
+            buffer: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Convenience: from a target Hurst parameter `h = d + ½`.
+    pub fn from_hurst(mean: f64, sd: f64, h: f64, block_len: usize) -> Self {
+        assert!(h > 0.5 && h < 1.0, "H must be in (0.5, 1), got {h}");
+        Self::new(mean, sd, h - 0.5, block_len)
+    }
+
+    /// Memory parameter d.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Hurst parameter `H = d + ½`.
+    pub fn hurst(&self) -> f64 {
+        self.d + 0.5
+    }
+}
+
+impl FrameProcess for FarimaProcess {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
+        if self.pos >= self.buffer.len() {
+            self.buffer = self.generator.generate(rng);
+            self.pos = 0;
+        }
+        let z = self.buffer[self.pos];
+        self.pos += 1;
+        self.mean + self.sd * z
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        let _ = self.acf_cache_lag;
+        farima_acf(self.d, max_lag)
+    }
+
+    fn reset(&mut self, _rng: &mut dyn RngCore) {
+        self.buffer.clear();
+        self.pos = 0;
+    }
+
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        format!("F-ARIMA(0,{:.2},0)", self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+    use vbr_stats::{sample_acf_fft, Moments};
+
+    #[test]
+    fn acf_closed_form_anchors() {
+        // r(1) = d/(1-d).
+        for &d in &[0.1, 0.25, 0.4] {
+            let r = farima_acf(d, 4);
+            assert!((r[1] - d / (1.0 - d)).abs() < 1e-12, "d={d}");
+            // Positive and decreasing.
+            for w in r.windows(2) {
+                assert!(w[1] < w[0] && w[1] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn acf_tail_exponent_is_2h_minus_2() {
+        let d = 0.4; // H = 0.9
+        let r = farima_acf(d, 8192);
+        let slope = (r[8192] / r[1024]).ln() / (8.0_f64).ln();
+        assert!(
+            (slope - (2.0 * d - 1.0)).abs() < 0.01,
+            "tail slope {slope} vs {}",
+            2.0 * d - 1.0
+        );
+    }
+
+    #[test]
+    fn asymptotic_vs_exact_lrd_distinction() {
+        // Same H = 0.9: the F-ARIMA short-lag ACF differs from the exact-LRD
+        // second-difference form (this is why the paper separates the two
+        // definitions), but the tails converge to the same power law.
+        let fa = farima_acf(0.4, 2048);
+        let ex = crate::fbndp::exact_lrd_acf(1.0, 1.8, 2048);
+        assert!(
+            (fa[1] - ex[1]).abs() > 0.05,
+            "short lags should differ: {} vs {}",
+            fa[1],
+            ex[1]
+        );
+        let ratio_far = fa[2048] / ex[2048];
+        let ratio_near = fa[64] / ex[64];
+        assert!(
+            (ratio_far / ratio_near - 1.0).abs() < 0.05,
+            "tails must decay at the same rate (ratio drift {ratio_near} -> {ratio_far})"
+        );
+    }
+
+    #[test]
+    fn generated_path_matches_analytics() {
+        let mut p = FarimaProcess::from_hurst(500.0, 70.0, 0.85, 16_384);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(201);
+        let path: Vec<f64> = (0..65_536).map(|_| p.next_frame(&mut rng)).collect();
+        let mut m = Moments::new();
+        m.extend(&path);
+        assert!((m.mean() - 500.0).abs() < 15.0, "mean {}", m.mean());
+        assert!((m.sd() - 70.0).abs() < 6.0, "sd {}", m.sd());
+        let emp = sample_acf_fft(&path, 10);
+        let ana = p.autocorrelations(10);
+        for k in 1..=10 {
+            assert!(
+                (emp[k] - ana[k]).abs() < 0.06,
+                "lag {k}: {} vs {}",
+                emp[k],
+                ana[k]
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_hurst_matches_design() {
+        let mut p = FarimaProcess::from_hurst(0.0, 1.0, 0.8, 65_536);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(202);
+        let path: Vec<f64> = (0..65_536).map(|_| p.next_frame(&mut rng)).collect();
+        let h = vbr_stats::local_whittle_hurst(&path, 0);
+        assert!((h - 0.8).abs() < 0.09, "local Whittle H {h} vs 0.8");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_d_out_of_range() {
+        farima_acf(0.5, 10);
+    }
+}

@@ -1,0 +1,372 @@
+//! FBNDP: the Fractal-Binomial-Noise-Driven Poisson process (paper §3.2,
+//! Ryu & Lowen).
+//!
+//! M i.i.d. fractal ON/OFF processes are summed into a binomial-valued rate
+//! process (0..M processes ON at any instant); that rate, scaled by the
+//! per-process ON rate R, modulates a Poisson process. Counting arrivals per
+//! video frame (`L_n = N[nT_s] − N[(n−1)T_s]`) gives an **exact long-range
+//! dependent** frame-size sequence with closed-form statistics:
+//!
+//! ```text
+//! H      = (α + 1)/2
+//! λ      = R·M/2                                   (cells/sec)
+//! E[L]   = λ·T_s
+//! Var[L] = [1 + (T_s/T₀)^α] · λ·T_s
+//! r(k)   = T_s^α/(T_s^α + T₀^α) · ½∇²(k^{α+1})     (k ≥ 1)
+//! ```
+//!
+//! where T₀ (the *fractal onset time*) is a known function of (α, A, R) and
+//! controls how much of the variance is fractal. For large M the frame-count
+//! marginal approaches a Gaussian — the paper uses M = 15 and M = 30.
+//!
+//! Simulation draws each frame exactly: the M ON/OFF paths are advanced
+//! through the frame window, the integrated ON time sets the conditional
+//! Poisson mean, and one Poisson variate is drawn (PTRD keeps that O(1)).
+
+use crate::onoff::{FractalOnOff, HeavyTailedSojourn};
+use crate::traits::FrameProcess;
+use rand::RngCore;
+use vbr_stats::dist::Poisson;
+
+/// Parameters of an FBNDP source, in the paper's (α, A, M, R) form plus the
+/// frame duration T_s.
+#[derive(Debug, Clone, Copy)]
+pub struct FbndpParams {
+    /// Fractal exponent α ∈ (0, 1); H = (α+1)/2.
+    pub alpha: f64,
+    /// Sojourn body/tail crossover A (sec).
+    pub a: f64,
+    /// Number of superposed ON/OFF processes.
+    pub m: usize,
+    /// Arrival rate of one process while ON (cells/sec).
+    pub r: f64,
+    /// Frame duration T_s (sec); the paper uses 0.04 (25 frames/sec).
+    pub ts: f64,
+}
+
+impl FbndpParams {
+    /// Validates ranges.
+    fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0,1), got {}",
+            self.alpha
+        );
+        assert!(self.a > 0.0 && self.a.is_finite(), "invalid A {}", self.a);
+        assert!(self.m >= 1, "need at least one ON/OFF process");
+        assert!(self.r > 0.0 && self.r.is_finite(), "invalid R {}", self.r);
+        assert!(self.ts > 0.0 && self.ts.is_finite(), "invalid Ts {}", self.ts);
+    }
+
+    /// Hurst parameter `H = (α+1)/2`.
+    pub fn hurst(&self) -> f64 {
+        (self.alpha + 1.0) / 2.0
+    }
+
+    /// Mean aggregate arrival rate `λ = R·M/2` (cells/sec).
+    pub fn lambda(&self) -> f64 {
+        self.r * self.m as f64 / 2.0
+    }
+
+    /// The constant `C(α) = α(α+1)(2−α)^{-1}[(1−α)e^{2−α} + 1]` appearing in
+    /// the fractal-onset-time formula.
+    fn c_alpha(alpha: f64) -> f64 {
+        alpha * (alpha + 1.0) / (2.0 - alpha) * ((1.0 - alpha) * (2.0 - alpha).exp() + 1.0)
+    }
+
+    /// Fractal onset time `T₀ = [C(α) R^{-1} A^{α−1}]^{1/α}` (sec).
+    pub fn fractal_onset_time(&self) -> f64 {
+        (Self::c_alpha(self.alpha) / self.r * self.a.powf(self.alpha - 1.0))
+            .powf(1.0 / self.alpha)
+    }
+
+    /// Solves (A, R) from frame-level targets: given the desired mean and
+    /// variance of the per-frame count, the fractal exponent α, the number
+    /// of processes M and the frame duration T_s.
+    ///
+    /// Inversion used by the paper's Table 1 (its step 8: "the values of T₀
+    /// … are determined from the given mean, variance, and α"):
+    ///
+    /// * `λ = mean/T_s`, `R = 2λ/M`;
+    /// * `(T_s/T₀)^α = variance/mean − 1` (requires variance > mean: the
+    ///   conditional-Poisson construction is always over-dispersed);
+    /// * `A = [T₀^α · R / C(α)]^{1/(α−1)}`.
+    ///
+    /// # Panics
+    /// Panics if `variance <= mean` or any parameter is out of range.
+    pub fn from_frame_targets(mean: f64, variance: f64, alpha: f64, m: usize, ts: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(
+            variance > mean,
+            "FBNDP frame counts are over-dispersed: need variance {variance} > mean {mean}"
+        );
+        let lambda = mean / ts;
+        let r = 2.0 * lambda / m as f64;
+        let ratio = variance / mean - 1.0; // (Ts/T0)^alpha
+        let t0 = ts / ratio.powf(1.0 / alpha);
+        let a = (t0.powf(alpha) * r / Self::c_alpha(alpha)).powf(1.0 / (alpha - 1.0));
+        let params = Self { alpha, a, m, r, ts };
+        params.validate();
+        params
+    }
+
+    /// Frame-count mean `λ·T_s`.
+    pub fn frame_mean(&self) -> f64 {
+        self.lambda() * self.ts
+    }
+
+    /// Frame-count variance `[1 + (T_s/T₀)^α]·λ·T_s`.
+    pub fn frame_variance(&self) -> f64 {
+        let t0 = self.fractal_onset_time();
+        (1.0 + (self.ts / t0).powf(self.alpha)) * self.frame_mean()
+    }
+
+    /// The correlation weight `w = T_s^α / (T_s^α + T₀^α) ∈ (0, 1)`.
+    pub fn correlation_weight(&self) -> f64 {
+        let t0 = self.fractal_onset_time();
+        let tsa = self.ts.powf(self.alpha);
+        tsa / (tsa + t0.powf(self.alpha))
+    }
+}
+
+/// Exact-LRD frame autocorrelation `w · ½∇²(k^{2H})` with `2H = α + 1`.
+///
+/// `∇²` is the second central difference; the `k = 0` value is 1.
+pub fn exact_lrd_acf(weight: f64, two_h: f64, max_lag: usize) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&weight), "invalid weight {weight}");
+    assert!(
+        two_h > 1.0 && two_h < 2.0,
+        "2H must be in (1,2), got {two_h}"
+    );
+    let h = |k: f64| k.powf(two_h);
+    let mut r = Vec::with_capacity(max_lag + 1);
+    r.push(1.0);
+    for k in 1..=max_lag {
+        let kf = k as f64;
+        r.push(weight * 0.5 * (h(kf + 1.0) - 2.0 * h(kf) + h(kf - 1.0)));
+    }
+    r
+}
+
+/// A running FBNDP frame-count generator.
+#[derive(Debug, Clone)]
+pub struct Fbndp {
+    params: FbndpParams,
+    processes: Vec<FractalOnOff>,
+}
+
+impl Fbndp {
+    /// Builds the generator from parameters.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn new(params: FbndpParams) -> Self {
+        params.validate();
+        let sojourn = HeavyTailedSojourn::from_alpha(params.alpha, params.a);
+        let processes = vec![FractalOnOff::new(sojourn); params.m];
+        Self { params, processes }
+    }
+
+    /// The parameters this generator was built with.
+    pub fn params(&self) -> &FbndpParams {
+        &self.params
+    }
+}
+
+impl FrameProcess for Fbndp {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
+        let mut on_total = 0.0;
+        for p in &mut self.processes {
+            on_total += p.on_time(self.params.ts, rng);
+        }
+        let conditional_mean = self.params.r * on_total;
+        if conditional_mean == 0.0 {
+            return 0.0;
+        }
+        Poisson::new(conditional_mean).sample(rng) as f64
+    }
+
+    fn mean(&self) -> f64 {
+        self.params.frame_mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.params.frame_variance()
+    }
+
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        exact_lrd_acf(
+            self.params.correlation_weight(),
+            self.params.alpha + 1.0,
+            max_lag,
+        )
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        for p in &mut self.processes {
+            p.reset(rng);
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        format!("FBNDP(a={:.3},M={})", self.params.alpha, self.params.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+    use vbr_stats::{sample_acf_fft, Moments};
+
+    /// Paper Z^a FBNDP component: mean 250 cells/frame, variance 2500,
+    /// alpha 0.8, M 15, Ts 40 ms.
+    fn paper_z_component() -> FbndpParams {
+        FbndpParams::from_frame_targets(250.0, 2500.0, 0.8, 15, 0.04)
+    }
+
+    #[test]
+    fn table1_z_component_derived_parameters() {
+        let p = paper_z_component();
+        // Table 1: lambda = 6250 cells/s, T0 = 2.57 ms, H = 0.9.
+        assert!((p.lambda() - 6250.0).abs() < 1e-6, "lambda {}", p.lambda());
+        let t0_ms = p.fractal_onset_time() * 1e3;
+        assert!((t0_ms - 2.57).abs() < 0.01, "T0 {t0_ms} ms vs 2.57 ms");
+        assert!((p.hurst() - 0.9).abs() < 1e-12);
+        // Round-trip: the declared frame stats equal the targets.
+        assert!((p.frame_mean() - 250.0).abs() < 1e-9);
+        assert!((p.frame_variance() - 2500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table1_v_component_derived_parameters() {
+        // V^1 component: mean 250, var 2500, alpha 0.9 -> lambda 6250,
+        // T0 = 3.48 ms (Table 1).
+        let p = FbndpParams::from_frame_targets(250.0, 2500.0, 0.9, 15, 0.04);
+        assert!((p.lambda() - 6250.0).abs() < 1e-6);
+        let t0_ms = p.fractal_onset_time() * 1e3;
+        assert!((t0_ms - 3.48).abs() < 0.01, "T0 {t0_ms} ms vs 3.48 ms");
+    }
+
+    #[test]
+    fn table1_l_model_derived_parameters() {
+        // L: mean 500, var 5000, alpha 0.72, M = 30 -> lambda 12500,
+        // T0 ≈ 1.83-1.9 ms (Table 1 prints 1.83).
+        let p = FbndpParams::from_frame_targets(500.0, 5000.0, 0.72, 30, 0.04);
+        assert!((p.lambda() - 12_500.0).abs() < 1e-6);
+        let t0_ms = p.fractal_onset_time() * 1e3;
+        assert!(
+            (t0_ms - 1.89).abs() < 0.08,
+            "T0 {t0_ms} ms vs Table 1's ~1.83-1.9 ms"
+        );
+    }
+
+    #[test]
+    fn acf_formula_values() {
+        let r = exact_lrd_acf(0.9, 1.8, 3);
+        // 0.9 * 0.5 * (2^1.8 - 2) = 0.9 * 0.74110 = 0.66699
+        assert!((r[1] - 0.666_99).abs() < 1e-4, "r1 {}", r[1]);
+        assert!(r[1] > r[2] && r[2] > r[3], "monotone decay");
+    }
+
+    #[test]
+    fn acf_tail_is_power_law() {
+        // r(k) ~ w H(2H-1) k^{2H-2}: the log-log slope over large lags must
+        // approach 2H-2 = alpha - 1.
+        let alpha = 0.8;
+        let r = exact_lrd_acf(0.9, alpha + 1.0, 4096);
+        let slope = ((r[4096] / r[1024]).ln()) / ((4096.0_f64 / 1024.0).ln());
+        assert!(
+            (slope - (alpha - 1.0)).abs() < 0.005,
+            "tail slope {slope} vs {}",
+            alpha - 1.0
+        );
+    }
+
+    #[test]
+    fn sample_path_mean_and_variance() {
+        let mut f = Fbndp::new(paper_z_component());
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(91);
+        let mut m = Moments::new();
+        for _ in 0..150_000 {
+            m.push(f.next_frame(&mut rng));
+        }
+        assert!((m.mean() - 250.0).abs() < 3.0, "mean {}", m.mean());
+        // Heavy-tailed sojourns make the variance estimate noisy; 15% band.
+        assert!(
+            (m.variance() - 2500.0).abs() < 0.15 * 2500.0,
+            "var {}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn sample_acf_matches_analytic_short_lags() {
+        let mut f = Fbndp::new(paper_z_component());
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(92);
+        let path: Vec<f64> = (0..400_000).map(|_| f.next_frame(&mut rng)).collect();
+        let emp = sample_acf_fft(&path, 10);
+        let ana = f.autocorrelations(10);
+        for k in 1..=10 {
+            assert!(
+                (emp[k] - ana[k]).abs() < 0.09,
+                "lag {k}: sample {} vs analytic {}",
+                emp[k],
+                ana[k]
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_is_long_range_dependent() {
+        // The aggregated-variance Hurst estimate of a paper-parameter FBNDP
+        // path must be well above the SRD value 0.5 and near H = 0.9.
+        let mut f = Fbndp::new(paper_z_component());
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(93);
+        let path: Vec<f64> = (0..262_144).map(|_| f.next_frame(&mut rng)).collect();
+        let h = vbr_stats::aggregated_variance_hurst(&path);
+        assert!(
+            h.h > 0.75 && h.h < 1.0,
+            "estimated H {} for designed H 0.9",
+            h.h
+        );
+    }
+
+    #[test]
+    fn marginal_is_approximately_gaussian_for_m15() {
+        // Paper: M = 15 "provides a good approximation of the Gaussian
+        // marginal" — skewness and excess kurtosis near 0.
+        let mut f = Fbndp::new(paper_z_component());
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(94);
+        let mut m = Moments::new();
+        for _ in 0..300_000 {
+            m.push(f.next_frame(&mut rng));
+        }
+        assert!(m.skewness().abs() < 0.25, "skewness {}", m.skewness());
+        assert!(
+            m.excess_kurtosis().abs() < 0.5,
+            "excess kurtosis {}",
+            m.excess_kurtosis()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_underdispersed_targets() {
+        FbndpParams::from_frame_targets(250.0, 200.0, 0.8, 15, 0.04);
+    }
+
+    #[test]
+    fn reset_reinitializes() {
+        let mut f = Fbndp::new(paper_z_component());
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(95);
+        let a: Vec<f64> = (0..20).map(|_| f.next_frame(&mut rng)).collect();
+        f.reset(&mut rng);
+        let b: Vec<f64> = (0..20).map(|_| f.next_frame(&mut rng)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,69 @@
+//! # vbr-models
+//!
+//! VBR video traffic source models — the stochastic processes the paper
+//! builds its whole argument from. Every model emits a stationary sequence of
+//! *frame sizes* (cells per 40 ms video frame) and also knows its own
+//! analytic first- and second-order statistics (mean, variance,
+//! autocorrelation function), because the large-deviations analysis consumes
+//! the analytic ACF while the simulator consumes the sample path.
+//!
+//! Model zoo:
+//!
+//! * [`dar::DarProcess`] — the DAR(p) discrete autoregressive Markov chain of
+//!   Jacobs & Lewis, the paper's short-range-dependent workhorse. Its ACF
+//!   obeys the Yule–Walker recursion `r(k) = ρ Σ aᵢ r(k−i)`; a DAR(1) decays
+//!   geometrically as `ρᵏ`.
+//! * [`onoff::FractalOnOff`] — a renewal ON/OFF process with the paper's
+//!   heavy-tailed sojourn density (exponential body, Pareto tail, exponent
+//!   γ = 2 − α), started in equilibrium via the residual-life distribution.
+//! * [`fbndp::Fbndp`] — the Fractal-Binomial-Noise-Driven Poisson process:
+//!   M i.i.d. fractal ON/OFF processes summed into a binomial rate that
+//!   modulates a Poisson process. Exact long-range dependent, with
+//!   H = (α+1)/2 and closed-form frame-count statistics.
+//! * [`superpose::Superposition`] — sum of two independent frame processes;
+//!   builds the paper's `Z^a` and `V^v` (FBNDP + DAR(1)) composites.
+//! * [`ar::GaussianAr1`] — the Gaussian AR(1) baseline (Addie et al.).
+//! * [`iid::IidProcess`] — white (lag-independent) frames, the H = ½ anchor.
+//! * [`fgn::FgnProcess`] — exact fractional Gaussian noise by Davies–Harte
+//!   circulant embedding, the canonical exact-LRD reference process.
+//! * [`farima::FarimaProcess`] — F-ARIMA(0,d,0), the paper's §2 example of
+//!   an *asymptotic* LRD process (closed-form ACF, circulant generation).
+//! * [`markov_onoff::MarkovOnOff`] — the exponential-sojourn twin of the
+//!   FBNDP (classical Markov ATM source): same construction, same first two
+//!   moments, geometric ACF — the control case proving the LRD comes from
+//!   the sojourn tail.
+//! * [`mpeg::MpegGopModel`] — a GOP-structured MPEG source (extension; the
+//!   paper's §6.2 names MPEG CTS analysis as ongoing work).
+//!
+//! All models implement [`traits::FrameProcess`], are seedable through the
+//! deterministic RNG from `vbr-stats`, and are `Send + Clone`-able so the
+//! replication harness can fan them out across threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod dar;
+pub mod farima;
+pub mod fbndp;
+pub mod fgn;
+pub mod iid;
+pub mod marginal;
+pub mod markov_onoff;
+pub mod mpeg;
+pub mod onoff;
+pub mod superpose;
+pub mod traits;
+
+pub use ar::GaussianAr1;
+pub use dar::{DarParams, DarProcess};
+pub use farima::{farima_acf, FarimaProcess};
+pub use fbndp::{Fbndp, FbndpParams};
+pub use fgn::{CirculantGenerator, FgnGenerator, FgnProcess};
+pub use iid::IidProcess;
+pub use marginal::Marginal;
+pub use markov_onoff::{MarkovOnOff, MarkovOnOffParams};
+pub use mpeg::{GopPattern, MpegGopModel};
+pub use onoff::{FractalOnOff, HeavyTailedSojourn};
+pub use superpose::Superposition;
+pub use traits::FrameProcess;

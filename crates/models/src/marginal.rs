@@ -1,0 +1,160 @@
+//! Frame-size marginal distributions.
+//!
+//! The paper fixes the marginal to a Gaussian — "the lightest tail" — so that
+//! differences in queueing behaviour come purely from autocorrelation
+//! structure. §6.1 then argues the conclusions survive heavier-tailed
+//! marginals (Heyman & Lakshman verified the negative-binomial case), so we
+//! carry both, plus a deterministic degenerate marginal for tests.
+
+use rand::RngCore;
+use vbr_stats::dist::{NegativeBinomial, Normal};
+
+/// A frame-size marginal distribution: what a single frame's size looks like
+/// ignoring all temporal correlation.
+#[derive(Debug, Clone)]
+pub enum Marginal {
+    /// Gaussian `N(mean, sd²)` — the paper's choice.
+    Gaussian {
+        /// Mean frame size (cells).
+        mean: f64,
+        /// Standard deviation of frame size (cells).
+        sd: f64,
+    },
+    /// Negative binomial matched to a mean and variance (variance > mean);
+    /// the heavier-tailed alternative of Heyman & Lakshman.
+    NegativeBinomial {
+        /// Mean frame size (cells).
+        mean: f64,
+        /// Frame-size variance (cells²); must exceed the mean.
+        variance: f64,
+    },
+    /// Every frame has exactly this size; used in tests and as a CBR anchor.
+    Deterministic {
+        /// The constant frame size (cells).
+        value: f64,
+    },
+}
+
+impl Marginal {
+    /// Gaussian marginal with the paper's canonical parameters:
+    /// mean 500 cells/frame, variance 5000 (cells/frame)².
+    pub fn paper_gaussian() -> Self {
+        Marginal::Gaussian {
+            mean: 500.0,
+            sd: 5000.0_f64.sqrt(),
+        }
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Marginal::Gaussian { mean, .. } => mean,
+            Marginal::NegativeBinomial { mean, .. } => mean,
+            Marginal::Deterministic { value } => value,
+        }
+    }
+
+    /// Distribution variance.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Marginal::Gaussian { sd, .. } => sd * sd,
+            Marginal::NegativeBinomial { variance, .. } => variance,
+            Marginal::Deterministic { .. } => 0.0,
+        }
+    }
+
+    /// Draws one frame size.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        match *self {
+            Marginal::Gaussian { mean, sd } => Normal::new(mean, sd).sample(rng),
+            Marginal::NegativeBinomial { mean, variance } => {
+                NegativeBinomial::from_mean_variance(mean, variance).sample(rng) as f64
+            }
+            Marginal::Deterministic { value } => value,
+        }
+    }
+
+    /// Validates parameters, panicking with a clear message if invalid.
+    /// Called by model constructors so bad parameters fail at build time,
+    /// not mid-simulation.
+    pub fn validate(&self) {
+        match *self {
+            Marginal::Gaussian { mean, sd } => {
+                assert!(mean.is_finite(), "invalid Gaussian mean {mean}");
+                assert!(sd >= 0.0 && sd.is_finite(), "invalid Gaussian sd {sd}");
+            }
+            Marginal::NegativeBinomial { mean, variance } => {
+                assert!(
+                    variance > mean && mean > 0.0,
+                    "negative binomial needs variance {variance} > mean {mean} > 0"
+                );
+            }
+            Marginal::Deterministic { value } => {
+                assert!(value.is_finite(), "invalid deterministic value {value}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+    use vbr_stats::Moments;
+
+    #[test]
+    fn paper_gaussian_parameters() {
+        let m = Marginal::paper_gaussian();
+        assert_eq!(m.mean(), 500.0);
+        assert!((m.variance() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_declared_moments() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(61);
+        for marginal in [
+            Marginal::paper_gaussian(),
+            Marginal::NegativeBinomial {
+                mean: 500.0,
+                variance: 5000.0,
+            },
+        ] {
+            let mut acc = Moments::new();
+            for _ in 0..120_000 {
+                acc.push(marginal.sample(&mut rng));
+            }
+            assert!(
+                (acc.mean() - marginal.mean()).abs() < 1.5,
+                "mean {} vs {}",
+                acc.mean(),
+                marginal.mean()
+            );
+            assert!(
+                (acc.variance() - marginal.variance()).abs() < 0.05 * marginal.variance(),
+                "var {} vs {}",
+                acc.variance(),
+                marginal.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_marginal() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(62);
+        let m = Marginal::Deterministic { value: 500.0 };
+        assert_eq!(m.variance(), 0.0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 500.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_underdispersed_negbin() {
+        Marginal::NegativeBinomial {
+            mean: 500.0,
+            variance: 100.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,309 @@
+//! MPEG GOP-structured VBR source — extension model (paper §6.2 names
+//! "finding CTS of … MPEG-coded video" as ongoing work).
+//!
+//! MPEG traffic is cyclostationary: frames follow a periodic
+//! Group-of-Pictures pattern (e.g. `IBBPBBPBBPBB`), with I frames several
+//! times larger than P and B frames, modulated by slowly varying scene
+//! activity. The model here is
+//!
+//! ```text
+//! X_n = b_{(n+Θ) mod P} · A_n + ε_n
+//! ```
+//!
+//! * `b` — deterministic per-frame-type base sizes following the GOP pattern;
+//! * `A` — a scene-activity DAR(1) with mean 1 (slow geometric mixing,
+//!   modelling scene changes as value-holding jumps);
+//! * `ε` — i.i.d. Gaussian coding noise;
+//! * `Θ` — a uniformly random phase, which makes the process stationary
+//!   (WSS) so that the CTS machinery applies. With random phase the ACF has
+//!   an exact closed form used by [`FrameProcess::autocorrelations`]:
+//!
+//! ```text
+//! r(k)·σ² = Cov_b(k)·(σ_A² ρ^k + 1) + b̄₍₂₎(k)·σ_A²·ρᵏ − … (see code)
+//! ```
+//!
+//! Derivation: with `E[A]=1`, `Var[A]=σ_A²`, `r_A(k)=ρᵏ` and phase-averaged
+//! products `P_b(k) = (1/P)Σᵢ bᵢ b_{i+k}`,
+//! `Cov(X_n, X_{n+k}) = P_b(k)·σ_A²·ρᵏ + (P_b(k) − μ_b²) + σ_ε²·δ_k`.
+
+use crate::dar::{DarParams, DarProcess};
+use crate::marginal::Marginal;
+use crate::traits::FrameProcess;
+use rand::{Rng, RngCore};
+use vbr_stats::dist::Normal;
+
+/// A periodic GOP frame-type pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GopPattern {
+    /// Base size (cells) for each position in the GOP cycle.
+    base_sizes: Vec<f64>,
+}
+
+impl GopPattern {
+    /// Builds a pattern from a string of `I`, `P`, `B` characters and the
+    /// base sizes of each frame type.
+    ///
+    /// # Panics
+    /// Panics on an empty pattern, characters outside {I, P, B}, or
+    /// non-positive sizes.
+    pub fn from_str(pattern: &str, i_size: f64, p_size: f64, b_size: f64) -> Self {
+        assert!(!pattern.is_empty(), "empty GOP pattern");
+        for &s in &[i_size, p_size, b_size] {
+            assert!(s > 0.0 && s.is_finite(), "invalid frame size {s}");
+        }
+        let base_sizes = pattern
+            .chars()
+            .map(|c| match c {
+                'I' => i_size,
+                'P' => p_size,
+                'B' => b_size,
+                other => panic!("invalid GOP character {other:?}, expected I/P/B"),
+            })
+            .collect();
+        Self { base_sizes }
+    }
+
+    /// The canonical 12-frame `IBBPBBPBBPBB` pattern with size ratios
+    /// loosely based on published MPEG-1 trace statistics (I ≈ 5× B,
+    /// P ≈ 2.5× B).
+    pub fn canonical(mean_frame: f64) -> Self {
+        // Weights: I=5, P=2.5 (x3), B=1 (x8) over 12 frames -> mean weight
+        // (5 + 7.5 + 8)/12 = 20.5/12.
+        let unit = mean_frame * 12.0 / 20.5;
+        Self::from_str("IBBPBBPBBPBB", 5.0 * unit, 2.5 * unit, unit)
+    }
+
+    /// GOP period P.
+    pub fn period(&self) -> usize {
+        self.base_sizes.len()
+    }
+
+    /// Base size at cycle position `i`.
+    pub fn base(&self, i: usize) -> f64 {
+        self.base_sizes[i % self.base_sizes.len()]
+    }
+
+    /// Phase-averaged mean `μ_b = (1/P)Σ bᵢ`.
+    pub fn mean(&self) -> f64 {
+        self.base_sizes.iter().sum::<f64>() / self.period() as f64
+    }
+
+    /// Phase-averaged lagged product `P_b(k) = (1/P)Σᵢ bᵢ b_{(i+k) mod P}`.
+    pub fn lagged_product(&self, k: usize) -> f64 {
+        let p = self.period();
+        (0..p).map(|i| self.base(i) * self.base(i + k)).sum::<f64>() / p as f64
+    }
+}
+
+/// GOP-structured MPEG VBR source with DAR(1) scene activity.
+#[derive(Debug, Clone)]
+pub struct MpegGopModel {
+    pattern: GopPattern,
+    activity: DarProcess,
+    activity_var: f64,
+    activity_rho: f64,
+    noise_sd: f64,
+    phase: usize,
+    position: usize,
+    initialized: bool,
+}
+
+impl MpegGopModel {
+    /// Creates the model.
+    ///
+    /// * `pattern` — GOP base sizes;
+    /// * `activity_rho` — DAR(1) hold probability of the scene process
+    ///   (values near 1 model long scenes);
+    /// * `activity_sd` — standard deviation of the scene multiplier (mean 1);
+    /// * `noise_sd` — per-frame Gaussian coding noise (cells).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(pattern: GopPattern, activity_rho: f64, activity_sd: f64, noise_sd: f64) -> Self {
+        assert!(
+            activity_sd > 0.0 && activity_sd < 1.0,
+            "activity_sd must be in (0,1) to keep multipliers positive-ish, got {activity_sd}"
+        );
+        assert!(noise_sd >= 0.0 && noise_sd.is_finite(), "invalid noise sd");
+        let activity = DarProcess::new(DarParams::dar1(
+            activity_rho,
+            Marginal::Gaussian {
+                mean: 1.0,
+                sd: activity_sd,
+            },
+        ));
+        Self {
+            pattern,
+            activity,
+            activity_var: activity_sd * activity_sd,
+            activity_rho,
+            noise_sd,
+            phase: 0,
+            position: 0,
+            initialized: false,
+        }
+    }
+
+    fn ensure_init(&mut self, rng: &mut dyn RngCore) {
+        if !self.initialized {
+            self.phase = rng.gen_range(0..self.pattern.period());
+            self.position = 0;
+            self.initialized = true;
+        }
+    }
+
+    /// The GOP pattern.
+    pub fn pattern(&self) -> &GopPattern {
+        &self.pattern
+    }
+}
+
+impl FrameProcess for MpegGopModel {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
+        self.ensure_init(rng);
+        let base = self.pattern.base(self.position + self.phase);
+        self.position = (self.position + 1) % self.pattern.period();
+        let a = self.activity.next_frame(rng);
+        let eps = if self.noise_sd > 0.0 {
+            Normal::new(0.0, self.noise_sd).sample(rng)
+        } else {
+            0.0
+        };
+        base * a + eps
+    }
+
+    fn mean(&self) -> f64 {
+        // E[X] = μ_b · E[A] = μ_b.
+        self.pattern.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        // Var[X] = E[b²](σ_A² + 1) − μ_b² + σ_ε²
+        //        = P_b(0)(σ_A² + 1) − μ_b² + σ_ε².
+        let pb0 = self.pattern.lagged_product(0);
+        let mu = self.pattern.mean();
+        pb0 * (self.activity_var + 1.0) - mu * mu + self.noise_sd * self.noise_sd
+    }
+
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        // Cov(X_n, X_{n+k}) = P_b(k)·σ_A²·ρᵏ + (P_b(k) − μ_b²) + σ_ε² δ_k.
+        let var = self.variance();
+        let mu2 = self.pattern.mean().powi(2);
+        (0..=max_lag)
+            .map(|k| {
+                let pbk = self.pattern.lagged_product(k);
+                let cov = pbk * self.activity_var * self.activity_rho.powi(k as i32)
+                    + (pbk - mu2)
+                    + if k == 0 {
+                        self.noise_sd * self.noise_sd
+                    } else {
+                        0.0
+                    };
+                cov / var
+            })
+            .collect()
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.initialized = false;
+        self.activity.reset(rng);
+        self.ensure_init(rng);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        format!("MPEG(GOP={})", self.pattern.period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+    use vbr_stats::{sample_acf_fft, Moments};
+
+    fn model() -> MpegGopModel {
+        MpegGopModel::new(GopPattern::canonical(500.0), 0.95, 0.3, 30.0)
+    }
+
+    #[test]
+    fn canonical_pattern_mean() {
+        let p = GopPattern::canonical(500.0);
+        assert_eq!(p.period(), 12);
+        assert!((p.mean() - 500.0).abs() < 1e-9);
+        // I frame is the largest.
+        assert!(p.base(0) > p.base(3) && p.base(3) > p.base(1));
+    }
+
+    #[test]
+    fn lagged_product_is_periodic() {
+        let p = GopPattern::canonical(500.0);
+        for k in 0..5 {
+            assert!((p.lagged_product(k) - p.lagged_product(k + 12)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn acf_shows_gop_periodicity() {
+        let m = model();
+        let r = m.autocorrelations(36);
+        // Lag-12 correlation (same frame type) must exceed lag-6.
+        assert!(r[12] > r[6], "r12 {} vs r6 {}", r[12], r[6]);
+        assert!(r[24] > r[18]);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_matches_analytic_moments_and_acf() {
+        let mut m = model();
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(141);
+        m.reset(&mut rng);
+        let path: Vec<f64> = (0..400_000).map(|_| m.next_frame(&mut rng)).collect();
+        let mut acc = Moments::new();
+        acc.extend(&path);
+        assert!((acc.mean() - m.mean()).abs() < 2.0, "mean {}", acc.mean());
+        assert!(
+            (acc.variance() - m.variance()).abs() < 0.05 * m.variance(),
+            "var {} vs {}",
+            acc.variance(),
+            m.variance()
+        );
+        let emp = sample_acf_fft(&path, 24);
+        let ana = m.autocorrelations(24);
+        for k in 1..=24 {
+            assert!(
+                (emp[k] - ana[k]).abs() < 0.03,
+                "lag {k}: {} vs {}",
+                emp[k],
+                ana[k]
+            );
+        }
+    }
+
+    #[test]
+    fn random_phase_makes_ensemble_stationary() {
+        // The ensemble mean of frame 0 across replications must equal the
+        // phase-averaged mean, not the I-frame size.
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(142);
+        let mut acc = 0.0;
+        let reps = 60_000;
+        for _ in 0..reps {
+            let mut m = model();
+            acc += m.next_frame(&mut rng);
+        }
+        let mean0 = acc / reps as f64;
+        assert!(
+            (mean0 - 500.0).abs() < 3.0,
+            "ensemble frame-0 mean {mean0} should be 500"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_gop_char() {
+        GopPattern::from_str("IXB", 1.0, 1.0, 1.0);
+    }
+}

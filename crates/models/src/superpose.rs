@@ -1,0 +1,172 @@
+//! Superposition of two independent frame processes.
+//!
+//! The paper's composite models `Z^a` and `V^v` are `FBNDP + DAR(1)`: the
+//! DAR(1) component contributes geometric (short-term) correlation, the
+//! FBNDP component power-law (long-term) correlation. For independent
+//! components X and Y the sum has
+//!
+//! ```text
+//! μ    = μ_X + μ_Y
+//! σ²   = σ²_X + σ²_Y
+//! r(k) = [σ²_X·r_X(k) + σ²_Y·r_Y(k)] / (σ²_X + σ²_Y)
+//!      = v/(v+1)·r_X(k) + 1/(v+1)·r_Y(k),   v ≡ σ²_X/σ²_Y
+//! ```
+//!
+//! — the paper's Eq. (5). The existence of a finite k₀ with
+//! `r_X(k) > r_Y(k)` for all `k > k₀` makes the sum an *asymptotic* LRD
+//! process regardless of the mixing weight.
+
+use crate::traits::FrameProcess;
+use rand::RngCore;
+
+/// Sum of two independent frame processes.
+pub struct Superposition {
+    x: Box<dyn FrameProcess>,
+    y: Box<dyn FrameProcess>,
+    label: String,
+}
+
+impl Superposition {
+    /// Builds `x + y` with a display label (e.g. `"Z^0.975"`).
+    pub fn new(x: Box<dyn FrameProcess>, y: Box<dyn FrameProcess>, label: impl Into<String>) -> Self {
+        Self {
+            x,
+            y,
+            label: label.into(),
+        }
+    }
+
+    /// Variance ratio `v = σ²_X / σ²_Y` — the paper's long-term-correlation
+    /// weight knob.
+    pub fn variance_ratio(&self) -> f64 {
+        self.x.variance() / self.y.variance()
+    }
+
+    /// The first (X) component.
+    pub fn component_x(&self) -> &dyn FrameProcess {
+        self.x.as_ref()
+    }
+
+    /// The second (Y) component.
+    pub fn component_y(&self) -> &dyn FrameProcess {
+        self.y.as_ref()
+    }
+}
+
+impl Clone for Superposition {
+    fn clone(&self) -> Self {
+        Self {
+            x: self.x.boxed_clone(),
+            y: self.y.boxed_clone(),
+            label: self.label.clone(),
+        }
+    }
+}
+
+impl FrameProcess for Superposition {
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
+        self.x.next_frame(rng) + self.y.next_frame(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.x.mean() + self.y.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.x.variance() + self.y.variance()
+    }
+
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        let vx = self.x.variance();
+        let vy = self.y.variance();
+        let total = vx + vy;
+        assert!(total > 0.0, "superposition of two degenerate processes");
+        let rx = self.x.autocorrelations(max_lag);
+        let ry = self.y.autocorrelations(max_lag);
+        rx.iter()
+            .zip(&ry)
+            .map(|(&a, &b)| (vx * a + vy * b) / total)
+            .collect()
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.x.reset(rng);
+        self.y.reset(rng);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dar::{DarParams, DarProcess};
+    use crate::fbndp::{Fbndp, FbndpParams};
+    use crate::marginal::Marginal;
+    use crate::traits::test_support::check_analytic_consistency;
+
+    /// The paper's Z^0.7: FBNDP(mean 250, var 2500, alpha .8, M 15)
+    /// + DAR(1)(rho .7, Gaussian mean 250 var 2500).
+    fn z_model(a: f64) -> Superposition {
+        let x = Fbndp::new(FbndpParams::from_frame_targets(250.0, 2500.0, 0.8, 15, 0.04));
+        let y = DarProcess::new(DarParams::dar1(
+            a,
+            Marginal::Gaussian {
+                mean: 250.0,
+                sd: 50.0,
+            },
+        ));
+        Superposition::new(Box::new(x), Box::new(y), format!("Z^{a}"))
+    }
+
+    #[test]
+    fn combined_moments() {
+        let z = z_model(0.7);
+        assert!((z.mean() - 500.0).abs() < 1e-9);
+        assert!((z.variance() - 5000.0).abs() < 1e-6);
+        assert!((z.variance_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lag1_matches_hand_computation() {
+        // r(1) = 0.5 * w * 0.5∇²(1^{1.8}) + 0.5 * 0.7, w = Ts^α/(Ts^α+T0^α).
+        let z = z_model(0.7);
+        let r = z.autocorrelations(1);
+        // From the paper's parameters: w = 0.9, inner = 0.74110 -> 0.66699.
+        let expect = 0.5 * 0.666_99 + 0.5 * 0.7;
+        assert!((r[1] - expect).abs() < 1e-3, "r1 {} vs {expect}", r[1]);
+    }
+
+    #[test]
+    fn asymptotic_lrd_crossover() {
+        // Short lags are dominated by the DAR(1) part for a = 0.975; long
+        // lags by the FBNDP power law. Verify the geometric part dies and the
+        // power law survives at lag 1000.
+        let z = z_model(0.975);
+        let r = z.autocorrelations(1000);
+        let dar_part = 0.5 * 0.975_f64.powi(1000); // ~ 5e-12
+        assert!(r[1000] > 1e-4, "power-law tail must survive: {}", r[1000]);
+        assert!(dar_part < 1e-10);
+    }
+
+    #[test]
+    fn path_matches_analytics() {
+        let mut z = z_model(0.9);
+        // LRD component makes the sample mean of a single path fluctuate
+        // with sd ~ 14 cells at n = 3e5 (that slow convergence is the very
+        // subject of the paper); tolerances are ~3 sigma.
+        check_analytic_consistency(&mut z, 121, 300_000, 8, 42.0, 0.25, 0.09);
+    }
+
+    #[test]
+    fn clone_preserves_label() {
+        let z = z_model(0.99);
+        assert_eq!(z.boxed_clone().label(), "Z^0.99");
+    }
+}

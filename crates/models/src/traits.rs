@@ -1,0 +1,129 @@
+//! The frame-process abstraction shared by every traffic model.
+
+use rand::RngCore;
+
+/// A stationary stochastic source of video frame sizes.
+///
+/// A `FrameProcess` plays two roles at once, mirroring how the paper uses its
+/// models:
+///
+/// 1. **Generator** — [`next_frame`](FrameProcess::next_frame) draws the next
+///    frame size (cells per frame) along a sample path; the multiplexer
+///    simulation consumes this.
+/// 2. **Analytic model** — [`mean`](FrameProcess::mean),
+///    [`variance`](FrameProcess::variance) and
+///    [`autocorrelations`](FrameProcess::autocorrelations) expose the exact
+///    first- and second-order statistics; the large-deviations analysis
+///    (variance function `V(m)`, Critical Time Scale, Bahadur–Rao BOP)
+///    consumes these.
+///
+/// Implementations must be stationary: the analytic statistics describe every
+/// point of the generated path (models start in their stationary
+/// distribution, using equilibrium/residual-life initialization where the
+/// underlying process requires it).
+///
+/// Frame sizes are `f64`, not integers: the paper's models have Gaussian
+/// marginals and its queue is the frame-level fluid recursion, so fractional
+/// cells are the natural unit. Discrete-marginal models simply return whole
+/// numbers.
+pub trait FrameProcess: Send {
+    /// Draws the next frame size along the sample path.
+    fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64;
+
+    /// Stationary mean frame size (cells/frame).
+    fn mean(&self) -> f64;
+
+    /// Stationary frame-size variance (cells²).
+    fn variance(&self) -> f64;
+
+    /// Autocorrelation function at lags `0..=max_lag`, with `r(0) = 1`.
+    ///
+    /// Returned as a vector because most consumers (the `V(m)` variance
+    /// function, the CTS search) need a contiguous prefix of lags, and
+    /// several models compute `r(k)` by recursion in `k`.
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64>;
+
+    /// Resets internal state to a fresh stationary start.
+    ///
+    /// After `reset`, the process behaves as a new independent realization
+    /// (given an independent RNG stream); used between replications.
+    fn reset(&mut self, rng: &mut dyn RngCore);
+
+    /// Clones into a boxed trait object (object-safe `Clone`).
+    fn boxed_clone(&self) -> Box<dyn FrameProcess>;
+
+    /// Human-readable model label used in experiment output, e.g.
+    /// `"Z^0.975"` or `"DAR(2)"`.
+    fn label(&self) -> String;
+}
+
+impl Clone for Box<dyn FrameProcess> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Convenience: autocorrelation at a single lag (`r(0) = 1`).
+pub fn acf_at(process: &dyn FrameProcess, lag: usize) -> f64 {
+    process.autocorrelations(lag)[lag]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::FrameProcess;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+    use vbr_stats::{sample_acf_fft, Moments};
+
+    /// Generates a path and checks sample mean/variance/ACF against the
+    /// model's analytic claims. Shared by the model test suites: this is the
+    /// contract every `FrameProcess` must satisfy.
+    pub fn check_analytic_consistency(
+        process: &mut dyn FrameProcess,
+        seed: u64,
+        n: usize,
+        lags: usize,
+        mean_tol: f64,
+        var_rel_tol: f64,
+        acf_tol: f64,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        process.reset(&mut rng);
+        let mut m = Moments::new();
+        let path: Vec<f64> = (0..n)
+            .map(|_| {
+                let x = process.next_frame(&mut rng);
+                m.push(x);
+                x
+            })
+            .collect();
+
+        let mean = process.mean();
+        let var = process.variance();
+        assert!(
+            (m.mean() - mean).abs() < mean_tol,
+            "{}: sample mean {} vs analytic {}",
+            process.label(),
+            m.mean(),
+            mean
+        );
+        assert!(
+            (m.variance() - var).abs() < var_rel_tol * var,
+            "{}: sample var {} vs analytic {}",
+            process.label(),
+            m.variance(),
+            var
+        );
+
+        let analytic = process.autocorrelations(lags);
+        let sample = sample_acf_fft(&path, lags);
+        for k in 1..=lags {
+            assert!(
+                (analytic[k] - sample[k]).abs() < acf_tol,
+                "{}: lag {k} acf analytic {} vs sample {}",
+                process.label(),
+                analytic[k],
+                sample[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Frame-level fluid queue and the infinite-buffer survival estimator.
+
+/// Running totals of offered and lost traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LossAccount {
+    /// Total cells offered.
+    pub offered: f64,
+    /// Total cells lost to buffer overflow.
+    pub lost: f64,
+}
+
+impl LossAccount {
+    /// Cell loss rate `lost/offered` (0 when nothing was offered).
+    pub fn clr(&self) -> f64 {
+        if self.offered > 0.0 {
+            self.lost / self.offered
+        } else {
+            0.0
+        }
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &LossAccount) {
+        self.offered += other.offered;
+        self.lost += other.lost;
+    }
+}
+
+/// Frame-level fluid queue with finite or infinite buffer.
+///
+/// Per frame: total arrivals `X` (cells) drain against capacity `C`
+/// (cells/frame). Under deterministic smoothing the buffer content is
+/// piecewise linear within the frame, so the loss of frame `n` is exactly
+/// `(W_n + X_n − C − B)⁺` and the end-of-frame workload
+/// `W_{n+1} = min{(W_n + X_n − C)⁺, B}` — the paper's recursion.
+#[derive(Debug, Clone)]
+pub struct FluidQueue {
+    capacity: f64,
+    /// `None` = infinite buffer (workload unbounded, no loss).
+    buffer: Option<f64>,
+    workload: f64,
+    account: LossAccount,
+}
+
+impl FluidQueue {
+    /// Creates a finite-buffer queue (`buffer` in cells).
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity or negative buffer.
+    pub fn finite(capacity_per_frame: f64, buffer: f64) -> Self {
+        assert!(
+            capacity_per_frame > 0.0 && capacity_per_frame.is_finite(),
+            "invalid capacity {capacity_per_frame}"
+        );
+        assert!(buffer >= 0.0 && buffer.is_finite(), "invalid buffer {buffer}");
+        Self {
+            capacity: capacity_per_frame,
+            buffer: Some(buffer),
+            workload: 0.0,
+            account: LossAccount::default(),
+        }
+    }
+
+    /// Creates an infinite-buffer queue (for BOP estimation).
+    pub fn infinite(capacity_per_frame: f64) -> Self {
+        assert!(
+            capacity_per_frame > 0.0 && capacity_per_frame.is_finite(),
+            "invalid capacity {capacity_per_frame}"
+        );
+        Self {
+            capacity: capacity_per_frame,
+            buffer: None,
+            workload: 0.0,
+            account: LossAccount::default(),
+        }
+    }
+
+    /// Offers one frame's worth of aggregate arrivals; returns the cells
+    /// lost in this frame (always 0 for an infinite buffer).
+    #[inline]
+    pub fn offer(&mut self, arrivals: f64) -> f64 {
+        debug_assert!(arrivals >= 0.0, "negative arrivals {arrivals}");
+        self.account.offered += arrivals;
+        let unconstrained = (self.workload + arrivals - self.capacity).max(0.0);
+        match self.buffer {
+            Some(b) => {
+                let lost = (unconstrained - b).max(0.0);
+                self.workload = unconstrained.min(b);
+                self.account.lost += lost;
+                lost
+            }
+            None => {
+                self.workload = unconstrained;
+                0.0
+            }
+        }
+    }
+
+    /// Current start-of-frame workload (cells).
+    pub fn workload(&self) -> f64 {
+        self.workload
+    }
+
+    /// Loss totals so far.
+    pub fn account(&self) -> LossAccount {
+        self.account
+    }
+
+    /// Service capacity (cells/frame).
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Configured buffer (None = infinite).
+    pub fn buffer(&self) -> Option<f64> {
+        self.buffer
+    }
+
+    /// Clears workload and counters (fresh replication).
+    pub fn reset(&mut self) {
+        self.workload = 0.0;
+        self.account = LossAccount::default();
+    }
+
+    /// Zeroes the loss counters but keeps the current workload — used at the
+    /// warmup/measurement boundary so measurement starts from a warmed-up
+    /// queue without counting warmup traffic.
+    pub fn clear_accounts(&mut self) {
+        self.account = LossAccount::default();
+    }
+}
+
+/// Estimates the workload survival curve `P(W > B)` of an infinite-buffer
+/// queue over a fixed grid of thresholds.
+///
+/// Implementation detail: each observation does one binary search into the
+/// sorted threshold grid and bumps a histogram bucket; the survival counts
+/// are recovered as suffix sums at read time — O(log T) per frame however
+/// many thresholds are tracked.
+#[derive(Debug, Clone)]
+pub struct BopEstimator {
+    thresholds: Vec<f64>,
+    /// `bucket[i]` = observations with `thresholds[i-1] < W <= thresholds[i]`
+    /// (bucket[0]: W <= thresholds[0]; last bucket: W beyond the top).
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl BopEstimator {
+    /// Creates the estimator over a strictly increasing threshold grid.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty or not strictly increasing.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        assert!(!thresholds.is_empty(), "no thresholds");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be strictly increasing"
+        );
+        let n = thresholds.len();
+        Self {
+            thresholds,
+            buckets: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one workload observation.
+    #[inline]
+    pub fn observe(&mut self, workload: f64) {
+        // First index whose threshold is >= workload: workload exceeds all
+        // thresholds before it.
+        let idx = self.thresholds.partition_point(|&t| t < workload);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// The threshold grid.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Total observations.
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// Survival estimates `P(W > thresholds[i])` (same order as the grid).
+    ///
+    /// Note the strict inequality: an observation exactly equal to a
+    /// threshold does not count as exceeding it.
+    pub fn survival(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.thresholds.len()];
+        if self.total == 0 {
+            return out;
+        }
+        // Suffix sums of buckets beyond each threshold index.
+        let mut acc = 0u64;
+        for i in (0..self.thresholds.len()).rev() {
+            acc += self.buckets[i + 1];
+            out[i] = acc as f64 / self.total as f64;
+        }
+        out
+    }
+
+    /// Merges another estimator with the identical grid.
+    ///
+    /// # Panics
+    /// Panics if the grids differ.
+    pub fn merge(&mut self, other: &BopEstimator) {
+        assert_eq!(
+            self.thresholds, other.thresholds,
+            "threshold grids must match"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_under_capacity() {
+        let mut q = FluidQueue::finite(100.0, 50.0);
+        for _ in 0..10 {
+            assert_eq!(q.offer(90.0), 0.0);
+        }
+        assert_eq!(q.workload(), 0.0);
+        assert_eq!(q.account().clr(), 0.0);
+    }
+
+    #[test]
+    fn workload_accumulates_and_drains() {
+        let mut q = FluidQueue::finite(100.0, 1000.0);
+        q.offer(150.0); // W = 50
+        assert_eq!(q.workload(), 50.0);
+        q.offer(150.0); // W = 100
+        assert_eq!(q.workload(), 100.0);
+        q.offer(20.0); // W = 20
+        assert_eq!(q.workload(), 20.0);
+        q.offer(0.0); // W = 0 (clipped at zero)
+        assert_eq!(q.workload(), 0.0);
+    }
+
+    #[test]
+    fn loss_only_beyond_buffer() {
+        let mut q = FluidQueue::finite(100.0, 30.0);
+        // W + X - C = 60 > B=30: lose 30, W = 30.
+        let lost = q.offer(160.0);
+        assert_eq!(lost, 30.0);
+        assert_eq!(q.workload(), 30.0);
+        // Exactly filling the buffer loses nothing.
+        let lost2 = q.offer(100.0);
+        assert_eq!(lost2, 0.0);
+        assert_eq!(q.workload(), 30.0);
+        let acct = q.account();
+        assert_eq!(acct.offered, 260.0);
+        assert_eq!(acct.lost, 30.0);
+        assert!((acct.clr() - 30.0 / 260.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_buffer_queue_is_bufferless() {
+        let mut q = FluidQueue::finite(100.0, 0.0);
+        assert_eq!(q.offer(130.0), 30.0);
+        assert_eq!(q.workload(), 0.0);
+        assert_eq!(q.offer(70.0), 0.0);
+    }
+
+    #[test]
+    fn infinite_buffer_never_loses() {
+        let mut q = FluidQueue::infinite(100.0);
+        for _ in 0..100 {
+            assert_eq!(q.offer(150.0), 0.0);
+        }
+        assert_eq!(q.workload(), 100.0 * 50.0);
+        assert_eq!(q.account().lost, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = FluidQueue::finite(100.0, 10.0);
+        q.offer(500.0);
+        q.reset();
+        assert_eq!(q.workload(), 0.0);
+        assert_eq!(q.account(), LossAccount::default());
+    }
+
+    #[test]
+    fn conservation_offered_equals_served_plus_lost_plus_queued() {
+        // Mass balance over an arbitrary arrival pattern.
+        let mut q = FluidQueue::finite(100.0, 37.0);
+        let arrivals = [0.0, 250.0, 80.0, 130.0, 5.0, 400.0, 0.0, 90.0];
+        let mut served = 0.0;
+        let mut w_prev = 0.0;
+        for &x in &arrivals {
+            let lost = q.offer(x);
+            // served this frame = inflow - d(workload) - lost
+            served += x - (q.workload() - w_prev) - lost;
+            w_prev = q.workload();
+        }
+        let acct = q.account();
+        let total: f64 = arrivals.iter().sum();
+        assert!((acct.offered - total).abs() < 1e-9);
+        assert!(
+            (served + acct.lost + q.workload() - total).abs() < 1e-9,
+            "mass balance violated"
+        );
+        // Served can never exceed capacity per frame count.
+        assert!(served <= 100.0 * arrivals.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn bop_estimator_counts_exceedances() {
+        let mut e = BopEstimator::new(vec![10.0, 20.0, 30.0]);
+        for w in [5.0, 15.0, 25.0, 35.0, 10.0] {
+            e.observe(w);
+        }
+        // Strictly greater: 10.0 observation does not exceed threshold 10.
+        let s = e.survival();
+        assert!((s[0] - 3.0 / 5.0).abs() < 1e-12, "P(W>10) {s:?}");
+        assert!((s[1] - 2.0 / 5.0).abs() < 1e-12);
+        assert!((s[2] - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(e.observations(), 5);
+    }
+
+    #[test]
+    fn bop_estimator_merge() {
+        let mut a = BopEstimator::new(vec![1.0, 2.0]);
+        let mut b = BopEstimator::new(vec![1.0, 2.0]);
+        a.observe(1.5);
+        b.observe(2.5);
+        b.observe(0.5);
+        a.merge(&b);
+        let s = a.survival();
+        assert_eq!(a.observations(), 3);
+        assert!((s[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bop_estimator_empty_is_zero() {
+        let e = BopEstimator::new(vec![1.0]);
+        assert_eq!(e.survival(), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bop_estimator_rejects_unsorted() {
+        BopEstimator::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn queue_rejects_negative_buffer() {
+        FluidQueue::finite(10.0, -1.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! Parallel replication harness.
+//!
+//! Reproduces the paper's measurement protocol: independent replications of
+//! a multiplexer of N homogeneous sources, CLR estimated per buffer size,
+//! replication-level Student-t confidence intervals. Two engineering
+//! choices worth noting:
+//!
+//! * **Common random numbers across buffer sizes** — every finite-buffer
+//!   queue in the sweep consumes the *same* arrival stream within a
+//!   replication, so CLR curves over buffer size are smooth and the
+//!   between-buffer comparisons have far lower variance than independent
+//!   runs (and one model advance feeds the entire sweep).
+//! * **Deterministic seeding** — replication r uses the stream
+//!   `root.split(r)`; results are bit-reproducible for a given `seed`
+//!   regardless of thread count.
+
+use crate::queue::{BopEstimator, FluidQueue, LossAccount};
+use std::num::NonZeroUsize;
+use vbr_models::FrameProcess;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+use vbr_stats::ConfidenceInterval;
+
+/// Configuration of one CLR experiment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of multiplexed homogeneous sources (the paper uses N = 30).
+    pub n_sources: usize,
+    /// Per-source bandwidth c (cells/frame); total capacity is `N·c`.
+    pub capacity_per_source: f64,
+    /// Total buffer sizes B (cells), strictly increasing; CLR is measured
+    /// for all of them simultaneously.
+    pub buffers_total: Vec<f64>,
+    /// Measured frames per replication (post-warmup).
+    pub frames_per_replication: usize,
+    /// Warm-up frames discarded from the loss accounts (queues keep their
+    /// workload so the measured window starts near steady state).
+    pub warmup_frames: usize,
+    /// Number of independent replications (the paper uses 60).
+    pub replications: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Frame duration in seconds (0.04 in the paper).
+    pub ts: f64,
+    /// Also track the infinite-buffer workload survival curve over the
+    /// `buffers_total` grid (for BOP-vs-asymptotics comparisons, Fig. 10).
+    pub track_bop: bool,
+}
+
+impl SimConfig {
+    /// The paper's canonical setting: N = 30, c = 538 cells/frame,
+    /// T_s = 40 ms. Buffer grid, length and replications are caller-chosen.
+    pub fn paper_defaults(buffers_total: Vec<f64>, frames: usize, replications: usize) -> Self {
+        Self {
+            n_sources: 30,
+            capacity_per_source: 538.0,
+            buffers_total,
+            frames_per_replication: frames,
+            warmup_frames: frames / 20,
+            replications,
+            seed: 0x5EED_CAFE,
+            ts: 0.04,
+            track_bop: false,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.n_sources >= 1, "need at least one source");
+        assert!(
+            self.capacity_per_source > 0.0,
+            "invalid capacity {}",
+            self.capacity_per_source
+        );
+        assert!(!self.buffers_total.is_empty(), "no buffer sizes");
+        assert!(
+            self.buffers_total.windows(2).all(|w| w[0] < w[1]),
+            "buffer grid must be strictly increasing"
+        );
+        assert!(self.frames_per_replication > 0, "zero-length replication");
+        assert!(self.replications >= 1, "need at least one replication");
+        assert!(self.ts > 0.0, "invalid frame duration {}", self.ts);
+    }
+
+    /// Total capacity `N·c` (cells/frame).
+    pub fn total_capacity(&self) -> f64 {
+        self.n_sources as f64 * self.capacity_per_source
+    }
+
+    /// Buffer size expressed as maximum queueing delay (msec).
+    pub fn buffer_ms(&self, buffer_total: f64) -> f64 {
+        buffer_total / self.total_capacity() * self.ts * 1e3
+    }
+}
+
+/// CLR estimate at one buffer size.
+#[derive(Debug, Clone)]
+pub struct ClrEstimate {
+    /// Total buffer B (cells).
+    pub buffer_total: f64,
+    /// B as maximum delay (msec).
+    pub buffer_ms: f64,
+    /// Student-t interval of the per-replication CLRs.
+    pub clr: ConfidenceInterval,
+    /// Pooled loss account across all replications (the pooled-ratio CLR
+    /// `lost/offered` is the preferred point estimate at very low loss).
+    pub pooled: LossAccount,
+}
+
+/// Full outcome of a CLR experiment.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// One estimate per configured buffer size, in grid order.
+    pub per_buffer: Vec<ClrEstimate>,
+    /// Infinite-buffer survival curve `P(W > B)` over the buffer grid, if
+    /// requested.
+    pub bop: Option<Vec<(f64, f64)>>,
+    /// Total measured frames across replications.
+    pub frames_total: u64,
+}
+
+struct RepResult {
+    accounts: Vec<LossAccount>,
+    clrs: Vec<f64>,
+    bop: Option<BopEstimator>,
+}
+
+/// A heterogeneous source mix: `count` copies of each prototype. The
+/// `n_sources` field of the config is ignored in favour of the mix total
+/// (but `capacity_per_source` still scales by the config's `n_sources` so
+/// the operating point stays explicit).
+pub struct SourceMix<'a> {
+    /// (prototype, how many copies) pairs.
+    pub groups: Vec<(&'a dyn FrameProcess, usize)>,
+}
+
+impl<'a> SourceMix<'a> {
+    /// Builds a mix; panics if empty or zero total sources.
+    pub fn new(groups: Vec<(&'a dyn FrameProcess, usize)>) -> Self {
+        assert!(
+            groups.iter().map(|&(_, n)| n).sum::<usize>() > 0,
+            "mix needs at least one source"
+        );
+        Self { groups }
+    }
+
+    /// Total number of sources.
+    pub fn total(&self) -> usize {
+        self.groups.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Aggregate mean rate (cells/frame).
+    pub fn mean(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|&(p, n)| p.mean() * n as f64)
+            .sum()
+    }
+
+    fn instantiate(&self) -> Vec<Box<dyn FrameProcess>> {
+        let mut out = Vec::with_capacity(self.total());
+        for &(proto, n) in &self.groups {
+            for _ in 0..n {
+                out.push(proto.boxed_clone());
+            }
+        }
+        out
+    }
+}
+
+fn run_replication(
+    prototype: &dyn FrameProcess,
+    config: &SimConfig,
+    rep: usize,
+    root: &Xoshiro256PlusPlus,
+) -> RepResult {
+    let sources: Vec<Box<dyn FrameProcess>> = (0..config.n_sources)
+        .map(|_| prototype.boxed_clone())
+        .collect();
+    run_replication_sources(sources, config, rep, root)
+}
+
+fn run_replication_sources(
+    mut sources: Vec<Box<dyn FrameProcess>>,
+    config: &SimConfig,
+    rep: usize,
+    root: &Xoshiro256PlusPlus,
+) -> RepResult {
+    let mut rng = root.split(rep as u64);
+    for s in sources.iter_mut() {
+        s.reset(&mut rng);
+    }
+
+    let total_capacity = config.total_capacity();
+    let mut queues: Vec<FluidQueue> = config
+        .buffers_total
+        .iter()
+        .map(|&b| FluidQueue::finite(total_capacity, b))
+        .collect();
+    let mut infinite = config.track_bop.then(|| {
+        (
+            FluidQueue::infinite(total_capacity),
+            BopEstimator::new(config.buffers_total.clone()),
+        )
+    });
+
+    let total_frames = config.warmup_frames + config.frames_per_replication;
+    for frame in 0..total_frames {
+        if frame == config.warmup_frames {
+            for q in queues.iter_mut() {
+                q.clear_accounts();
+            }
+        }
+        let aggregate: f64 = sources.iter_mut().map(|s| s.next_frame(&mut rng)).sum();
+        for q in queues.iter_mut() {
+            q.offer(aggregate);
+        }
+        if let Some((q, est)) = infinite.as_mut() {
+            q.offer(aggregate);
+            if frame >= config.warmup_frames {
+                est.observe(q.workload());
+            }
+        }
+    }
+
+    let accounts: Vec<LossAccount> = queues.iter().map(|q| q.account()).collect();
+    let clrs = accounts.iter().map(|a| a.clr()).collect();
+    RepResult {
+        accounts,
+        clrs,
+        bop: infinite.map(|(_, est)| est),
+    }
+}
+
+/// Runs the experiment, fanning replications across threads.
+///
+/// Deterministic for a fixed `config.seed` independent of thread count.
+pub fn simulate_clr(prototype: &dyn FrameProcess, config: &SimConfig) -> SimOutcome {
+    config.validate();
+    let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
+
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(config.replications);
+
+    let results: Vec<RepResult> = if threads <= 1 {
+        (0..config.replications)
+            .map(|rep| run_replication(prototype, config, rep, &root))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<RepResult>> = Vec::new();
+        slots.resize_with(config.replications, || None);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = &counter;
+                let slots_mutex = &slots_mutex;
+                let root = &root;
+                let proto = prototype.boxed_clone();
+                scope.spawn(move || {
+                    loop {
+                        let rep =
+                            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if rep >= config.replications {
+                            break;
+                        }
+                        let result = run_replication(proto.as_ref(), config, rep, root);
+                        slots_mutex.lock().expect("slot lock")[rep] = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every replication filled"))
+            .collect()
+    };
+
+    collect_outcome(config, results)
+}
+
+/// Runs a CLR experiment for a **heterogeneous** mix of sources — e.g. the
+/// real CAC situation where DAR-modelled videoconference sources share a
+/// link with LRD movie sources. `config.n_sources` is overridden by the mix
+/// total (the per-source capacity is re-interpreted against that total).
+///
+/// Runs replications sequentially (the mix API is used for modest scenario
+/// studies; the homogeneous path has the threaded harness).
+pub fn simulate_clr_mix(mix: &SourceMix<'_>, config: &SimConfig) -> SimOutcome {
+    let mut config = config.clone();
+    config.n_sources = mix.total();
+    config.validate();
+    let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
+    let results: Vec<RepResult> = (0..config.replications)
+        .map(|rep| run_replication_sources(mix.instantiate(), &config, rep, &root))
+        .collect();
+    collect_outcome(&config, results)
+}
+
+fn collect_outcome(config: &SimConfig, results: Vec<RepResult>) -> SimOutcome {
+    let per_buffer = (0..config.buffers_total.len())
+        .map(|i| {
+            let clr_samples: Vec<f64> = results.iter().map(|r| r.clrs[i]).collect();
+            let mut pooled = LossAccount::default();
+            for r in &results {
+                pooled.merge(&r.accounts[i]);
+            }
+            ClrEstimate {
+                buffer_total: config.buffers_total[i],
+                buffer_ms: config.buffer_ms(config.buffers_total[i]),
+                clr: ConfidenceInterval::from_samples(&clr_samples, 0.95),
+                pooled,
+            }
+        })
+        .collect();
+
+    let bop = config.track_bop.then(|| {
+        let mut merged: Option<BopEstimator> = None;
+        for r in &results {
+            let est = r.bop.as_ref().expect("bop tracked");
+            match merged.as_mut() {
+                Some(m) => m.merge(est),
+                None => merged = Some(est.clone()),
+            }
+        }
+        let merged = merged.expect("at least one replication");
+        merged
+            .thresholds()
+            .iter()
+            .copied()
+            .zip(merged.survival())
+            .collect()
+    });
+
+    SimOutcome {
+        per_buffer,
+        bop,
+        frames_total: (config.replications * config.frames_per_replication) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_models::{GaussianAr1, IidProcess, Marginal};
+
+    fn quick_config(buffers: Vec<f64>) -> SimConfig {
+        SimConfig {
+            n_sources: 30,
+            capacity_per_source: 538.0,
+            buffers_total: buffers,
+            frames_per_replication: 20_000,
+            warmup_frames: 500,
+            replications: 4,
+            seed: 7,
+            ts: 0.04,
+            track_bop: false,
+        }
+    }
+
+    #[test]
+    fn zero_buffer_clr_matches_gaussian_overshoot() {
+        // The paper's anchor: all models share CLR ~ 1.1e-5 at zero buffer.
+        let proto = IidProcess::new(Marginal::paper_gaussian());
+        let mut cfg = quick_config(vec![0.0]);
+        cfg.frames_per_replication = 300_000;
+        cfg.replications = 8;
+        let out = simulate_clr(&proto, &cfg);
+        let clr = out.per_buffer[0].pooled.clr();
+        assert!(
+            clr > 4e-6 && clr < 3e-5,
+            "zero-buffer CLR {clr:e} should be near 1.1e-5"
+        );
+    }
+
+    #[test]
+    fn clr_decreases_with_buffer() {
+        let proto = GaussianAr1::new(500.0, 5000.0_f64.sqrt(), 0.9);
+        let out = simulate_clr(&proto, &quick_config(vec![0.0, 500.0, 2000.0]));
+        let clrs: Vec<f64> = out.per_buffer.iter().map(|e| e.pooled.clr()).collect();
+        assert!(
+            clrs[0] >= clrs[1] && clrs[1] >= clrs[2],
+            "CLR must fall with buffer: {clrs:?}"
+        );
+        assert!(clrs[0] > 0.0, "zero buffer must lose something");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let proto = GaussianAr1::new(500.0, 70.0, 0.8);
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 5_000;
+        let a = simulate_clr(&proto, &cfg);
+        let b = simulate_clr(&proto, &cfg);
+        assert_eq!(
+            a.per_buffer[0].pooled,
+            b.per_buffer[0].pooled,
+            "same seed must reproduce exactly"
+        );
+    }
+
+    #[test]
+    fn buffer_ms_conversion() {
+        let cfg = quick_config(vec![807.0]);
+        // B = 807 cells at 16140 cells/frame and 40 ms frames -> 2 ms.
+        assert!((cfg.buffer_ms(807.0) - 2.0).abs() < 1e-9);
+        let out = simulate_clr(&GaussianAr1::new(500.0, 70.0, 0.5), &cfg);
+        assert!((out.per_buffer[0].buffer_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bop_tracking_produces_monotone_survival() {
+        let proto = GaussianAr1::new(500.0, 70.0, 0.9);
+        let mut cfg = quick_config(vec![1.0, 200.0, 800.0, 2000.0]);
+        cfg.track_bop = true;
+        let out = simulate_clr(&proto, &cfg);
+        let bop = out.bop.expect("tracked");
+        assert_eq!(bop.len(), 4);
+        for w in bop.windows(2) {
+            assert!(w[1].1 <= w[0].1, "survival must decrease: {bop:?}");
+        }
+        assert!(bop[0].1 > 0.0, "some mass above the smallest threshold");
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_replications() {
+        let proto = GaussianAr1::new(500.0, 70.0, 0.9);
+        let mut small = quick_config(vec![100.0]);
+        small.replications = 3;
+        small.frames_per_replication = 5_000;
+        let mut large = small.clone();
+        large.replications = 12;
+        let hw_small = simulate_clr(&proto, &small).per_buffer[0].clr.half_width;
+        let hw_large = simulate_clr(&proto, &large).per_buffer[0].clr.half_width;
+        assert!(
+            hw_large < hw_small,
+            "CI should shrink: {hw_large} vs {hw_small}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_buffer_grid() {
+        let proto = IidProcess::new(Marginal::paper_gaussian());
+        simulate_clr(&proto, &quick_config(vec![10.0, 5.0]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Sample autocorrelation estimation.
+//!
+//! Two implementations with identical estimands: a direct O(n·K) sum and an
+//! FFT-based O(n log n) version for long series / many lags. Both use the
+//! standard biased (1/n) normalization, which guarantees the estimated
+//! sequence is positive semi-definite — a property the Levinson–Durbin
+//! fitting step depends on.
+
+use crate::fft::{fft, ifft, next_pow2, Complex};
+
+/// Direct sample autocorrelation at lags `0..=max_lag`.
+///
+/// `r̂(k) = Σ_{t} (x_t − x̄)(x_{t+k} − x̄) / Σ_t (x_t − x̄)²`.
+///
+/// # Panics
+/// Panics if the series is shorter than 2 points, has zero variance, or
+/// `max_lag >= n`.
+pub fn sample_acf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    assert!(n >= 2, "ACF needs at least 2 observations");
+    assert!(max_lag < n, "max_lag {max_lag} must be < n {n}");
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let c0: f64 = series.iter().map(|&x| (x - mean).powi(2)).sum();
+    assert!(c0 > 0.0, "ACF of a constant series is undefined");
+
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        let ck: f64 = (0..n - k)
+            .map(|t| (series[t] - mean) * (series[t + k] - mean))
+            .sum();
+        out.push(ck / c0);
+    }
+    out
+}
+
+/// FFT-based sample autocorrelation at lags `0..=max_lag`.
+///
+/// Computes the full autocovariance via the Wiener–Khinchin route
+/// (zero-padded FFT → |·|² → inverse FFT), then normalizes. Numerically
+/// agrees with [`sample_acf`] to ~1e-10 but runs in O(n log n).
+pub fn sample_acf_fft(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    assert!(n >= 2, "ACF needs at least 2 observations");
+    assert!(max_lag < n, "max_lag {max_lag} must be < n {n}");
+    let mean = series.iter().sum::<f64>() / n as f64;
+
+    // Zero-pad to at least 2n to avoid circular wrap-around.
+    let m = next_pow2(2 * n);
+    let mut buf = vec![Complex::ZERO; m];
+    for (i, &x) in series.iter().enumerate() {
+        buf[i] = Complex::new(x - mean, 0.0);
+    }
+    fft(&mut buf);
+    for z in buf.iter_mut() {
+        *z = Complex::new(z.norm_sqr(), 0.0);
+    }
+    ifft(&mut buf);
+
+    let c0 = buf[0].re;
+    assert!(c0 > 0.0, "ACF of a constant series is undefined");
+    (0..=max_lag).map(|k| buf[k].re / c0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let r = sample_acf(&xs, 2);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_direct_matches_fft() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(31);
+        let mut nrm = Normal::new(0.0, 1.0);
+        // AR(1) with phi = 0.8
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..3000)
+            .map(|_| {
+                x = 0.8 * x + nrm.sample(&mut rng);
+                x
+            })
+            .collect();
+        let a = sample_acf(&series, 50);
+        let b = sample_acf_fft(&series, 50);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn acf_recovers_ar1_decay() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(32);
+        let mut nrm = Normal::new(0.0, 1.0);
+        let phi = 0.7;
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..200_000)
+            .map(|_| {
+                x = phi * x + nrm.sample(&mut rng);
+                x
+            })
+            .collect();
+        let r = sample_acf_fft(&series, 5);
+        for k in 1..=5usize {
+            let expect = phi.powi(k as i32);
+            assert!(
+                (r[k] - expect).abs() < 0.02,
+                "lag {k}: {} vs {expect}",
+                r[k]
+            );
+        }
+    }
+
+    #[test]
+    fn acf_white_noise_near_zero() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(33);
+        let mut nrm = Normal::new(5.0, 2.0);
+        let series: Vec<f64> = (0..100_000).map(|_| nrm.sample(&mut rng)).collect();
+        let r = sample_acf_fft(&series, 10);
+        for k in 1..=10 {
+            assert!(r[k].abs() < 0.02, "lag {k}: {}", r[k]);
+        }
+    }
+
+    #[test]
+    fn acf_alternating_series() {
+        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = sample_acf(&series, 2);
+        assert!(r[1] < -0.9, "lag-1 of alternating series {}", r[1]);
+        assert!(r[2] > 0.9, "lag-2 of alternating series {}", r[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn acf_rejects_constant() {
+        sample_acf(&[2.0, 2.0, 2.0], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn acf_rejects_excessive_lag() {
+        sample_acf(&[1.0, 2.0, 3.0], 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Confidence intervals for replication estimates.
+//!
+//! The simulation harness runs independent replications and reports the mean
+//! CLR with a Student-t interval across replications — the same procedure the
+//! paper's "60 replications, half a million frames each" protocol implies.
+
+use crate::special::normal_quantile;
+
+/// Two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean across replications).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used, e.g. 0.95.
+    pub level: f64,
+    /// Number of replications.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Builds a Student-t interval from replication values.
+    ///
+    /// With a single replication the half-width is reported as infinite —
+    /// the honest answer, not zero.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or `level` is not in (0, 1).
+    pub fn from_samples(values: &[f64], level: f64) -> Self {
+        assert!(!values.is_empty(), "no replications");
+        assert!(level > 0.0 && level < 1.0, "invalid level {level}");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self {
+                mean,
+                half_width: f64::INFINITY,
+                level,
+                n,
+            };
+        }
+        let var = values.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let t = t_quantile(1.0 - (1.0 - level) / 2.0, (n - 1) as f64);
+        Self {
+            mean,
+            half_width: t * (var / n as f64).sqrt(),
+            level,
+            n,
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Relative half-width `half_width / |mean|` (∞ when the mean is 0).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Quantile of the Student-t distribution with `df` degrees of freedom.
+///
+/// Uses the Cornish–Fisher-type expansion of the t quantile around the
+/// normal quantile (Hill, 1970) — accurate to ~1e-4 for df ≥ 3 and converges
+/// to the normal quantile as df → ∞, which is plenty for reporting
+/// simulation error bars.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "invalid p {p}");
+    assert!(df >= 1.0, "invalid df {df}");
+    let z = normal_quantile(p);
+    if df > 300.0 {
+        return z;
+    }
+    // Cornish–Fisher expansion in 1/df.
+    let z2 = z * z;
+    let g1 = (z2 + 1.0) * z / 4.0;
+    let g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+    let g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+    let g4 = ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z / 92_160.0;
+    z + g1 / df + g2 / df.powi(2) + g3 / df.powi(3) + g4 / df.powi(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_quantile_reference_values() {
+        // t_{0.975, df}: df=5 -> 2.5706, df=10 -> 2.2281, df=30 -> 2.0423,
+        // df=59 -> 2.0010 (the paper's 60-replication setting).
+        let cases = [(5.0, 2.5706), (10.0, 2.2281), (30.0, 2.0423), (59.0, 2.0010)];
+        for (df, expect) in cases {
+            let t = t_quantile(0.975, df);
+            assert!((t - expect).abs() < 0.02, "df={df}: {t} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn t_quantile_converges_to_normal() {
+        let z = normal_quantile(0.975);
+        assert!((t_quantile(0.975, 1e6) - z).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_contains_truth_for_iid_normals() {
+        use crate::dist::Normal;
+        use crate::rng::Xoshiro256PlusPlus;
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(51);
+        let mut d = Normal::new(10.0, 3.0);
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..20).map(|_| d.sample(&mut rng)).collect();
+            if ConfidenceInterval::from_samples(&xs, 0.95).contains(10.0) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!(
+            rate > 0.91 && rate < 0.99,
+            "95% CI empirical coverage {rate}"
+        );
+    }
+
+    #[test]
+    fn single_replication_is_honest() {
+        let ci = ConfidenceInterval::from_samples(&[5.0], 0.95);
+        assert_eq!(ci.mean, 5.0);
+        assert!(ci.half_width.is_infinite());
+    }
+
+    #[test]
+    fn interval_endpoints_and_relative_width() {
+        let ci = ConfidenceInterval::from_samples(&[1.0, 2.0, 3.0], 0.95);
+        assert!((ci.mean - 2.0).abs() < 1e-12);
+        assert!(ci.lo() < 2.0 && ci.hi() > 2.0);
+        assert!(ci.relative_half_width() > 0.0);
+        assert!(ci.contains(2.0));
+        assert!(!ci.contains(100.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        ConfidenceInterval::from_samples(&[], 0.95);
+    }
+}

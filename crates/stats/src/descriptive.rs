@@ -1,0 +1,343 @@
+//! Descriptive statistics: streaming moments, quantiles, histograms.
+
+/// Streaming mean/variance/skewness/kurtosis accumulator (Welford / Pébay
+/// update formulas). Numerically stable for the long series the simulator
+/// produces (hundreds of millions of frames at paper scale).
+#[derive(Debug, Clone, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let d2 = delta * delta;
+        let d3 = d2 * delta;
+        let d4 = d2 * d2;
+
+        let m2 = self.m2 + other.m2 + d2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + d3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + d4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * d2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator); 0 for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness `m3 / m2^{3/2}` (biased, population form).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis `m4 / m2² − 3` (population form).
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n < 4 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Smallest observation (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Type-7 (linear interpolation) sample quantile of `sorted` data.
+///
+/// # Panics
+/// Panics if the slice is empty or `q` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} out of [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width cells over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            // Guard the upper edge against floating-point round-up.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations at or above `hi`.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Normalized density estimate per bin (integrates to the in-range mass).
+    pub fn density(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins.iter().map(|&c| c as f64 / (total * w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_known_sequence() {
+        let mut m = Moments::new();
+        m.extend(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn moments_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut all = Moments::new();
+        all.extend(&xs);
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        a.extend(&xs[..400]);
+        b.extend(&xs[400..]);
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert!((a.skewness() - all.skewness()).abs() < 1e-9);
+        assert!((a.excess_kurtosis() - all.excess_kurtosis()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn moments_merge_with_empty() {
+        let mut a = Moments::new();
+        a.extend(&[1.0, 2.0, 3.0]);
+        let before = a.clone();
+        a.merge(&Moments::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 3);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_gaussian_shape() {
+        use crate::dist::Normal;
+        use crate::rng::Xoshiro256PlusPlus;
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(21);
+        let mut d = Normal::new(0.0, 2.0);
+        let mut m = Moments::new();
+        for _ in 0..300_000 {
+            m.push(d.sample(&mut rng));
+        }
+        assert!(m.skewness().abs() < 0.02, "skew {}", m.skewness());
+        assert!(m.excess_kurtosis().abs() < 0.05, "kurt {}", m.excess_kurtosis());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(10.0); // hi edge counts as above
+        h.push(9.999_999);
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 1);
+        assert_eq!(h.total(), 13);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 2);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..100 {
+            h.push(i as f64 / 100.0);
+        }
+        let w = 0.25;
+        let mass: f64 = h.density().iter().map(|d| d * w).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+}

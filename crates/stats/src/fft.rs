@@ -1,0 +1,292 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! Two consumers in the workspace: the FFT-based sample-autocorrelation
+//! estimator (O(n log n) instead of O(n·K) for K lags) and the Davies–Harte
+//! circulant-embedding generator for exact fractional Gaussian noise. Both
+//! control their own input lengths, so a power-of-two-only transform with an
+//! explicit [`next_pow2`] helper keeps the implementation simple and robust —
+//! the smoltcp school of "simplicity over cleverness".
+
+/// A complex number. Minimal on purpose: only the operations the FFT and its
+/// consumers need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, other: Self) -> Self {
+        Self::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    /// Complex addition.
+    #[inline]
+    pub fn add(self, other: Self) -> Self {
+        Self::new(self.re + other.re, self.im + other.im)
+    }
+
+    /// Complex subtraction.
+    #[inline]
+    pub fn sub(self, other: Self) -> Self {
+        Self::new(self.re - other.re, self.im - other.im)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+}
+
+/// Smallest power of two that is `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT, normalized by `1/n` so that `ifft(fft(x)) == x`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        z.re /= n;
+        z.im /= n;
+    }
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let shift = n.leading_zeros() + 1;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Danielson–Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Periodogram of a real series at the Fourier frequencies
+/// `ω_j = 2πj/n`, `j = 1 .. ⌊n/2⌋`:
+/// `I(ω_j) = |Σ_t x_t e^{-i ω_j t}|² / (2πn)`.
+///
+/// The series is **not** padded: the periodogram is only meaningful at the
+/// exact Fourier frequencies of the observed length, so the input is
+/// truncated to the largest power of two to keep the radix-2 transform
+/// applicable (the GPH estimator only uses the lowest ~√n frequencies, which
+/// truncation barely perturbs).
+pub fn periodogram(series: &[f64]) -> Vec<(f64, f64)> {
+    let n = prev_pow2(series.len());
+    assert!(n >= 4, "periodogram needs at least 4 observations");
+    let mut buf: Vec<Complex> = series[..n]
+        .iter()
+        .map(|&x| Complex::new(x, 0.0))
+        .collect();
+    fft(&mut buf);
+    let norm = 2.0 * std::f64::consts::PI * n as f64;
+    (1..=n / 2)
+        .map(|j| {
+            let freq = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+            (freq, buf[j].norm_sqr() / norm)
+        })
+        .collect()
+}
+
+/// Largest power of two that is `<= n` (0 maps to 0).
+pub fn prev_pow2(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - n.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for z in &data {
+            assert_close(z.re, 1.0, 1e-12);
+            assert_close(z.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::new(1.0, 0.0); 16];
+        fft(&mut data);
+        assert_close(data[0].re, 16.0, 1e-12);
+        for z in &data[1..] {
+            assert_close(z.abs(), 0.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_single_tone() {
+        // x[t] = cos(2π·3t/32) has spectral mass at bins 3 and 29 only.
+        let n = 32;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|t| {
+                Complex::new(
+                    (2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64).cos(),
+                    0.0,
+                )
+            })
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            let expect = if k == 3 || k == n - 3 { n as f64 / 2.0 } else { 0.0 };
+            assert_close(z.abs(), expect, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_roundtrip() {
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut data = orig.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.4).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast);
+        let n = x.len();
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (j, &xj) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                acc = acc.add(xj.mul(Complex::new(ang.cos(), ang.sin())));
+            }
+            assert_close(fast[k].re, acc.re, 1e-9);
+            assert_close(fast[k].im, acc.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64 * 0.11).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(&mut f);
+        let freq_energy: f64 = f.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fft_rejects_non_pow2() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(64), 64);
+        assert_eq!(prev_pow2(0), 0);
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(63), 32);
+        assert_eq!(prev_pow2(64), 64);
+    }
+
+    #[test]
+    fn periodogram_white_noise_is_flat_on_average() {
+        use crate::rng::Xoshiro256PlusPlus;
+        use rand::Rng;
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(12);
+        let series: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let pg = periodogram(&series);
+        // For white noise with variance 1/12, E[I(ω)] = σ²/(2π).
+        let mean_i: f64 = pg.iter().map(|&(_, i)| i).sum::<f64>() / pg.len() as f64;
+        let expect = (1.0 / 12.0) / (2.0 * std::f64::consts::PI);
+        assert!(
+            (mean_i - expect).abs() < 0.2 * expect,
+            "mean periodogram {mean_i} vs {expect}"
+        );
+    }
+}

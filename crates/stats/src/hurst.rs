@@ -1,0 +1,246 @@
+//! Hurst-parameter estimation.
+//!
+//! The paper's premise is that VBR video traces have H > 0.5 (Beran et al.);
+//! our synthetic FBNDP/superposition models are *designed* to have a known H,
+//! and these estimators verify that the generators actually produce it. Three
+//! classical methods are implemented — they have different biases, and
+//! agreement across all three is the usual sanity standard:
+//!
+//! * **Rescaled range (R/S)**: `E[R/S(m)] ~ c·m^H`.
+//! * **Aggregated variance**: `Var[X^{(m)}] ~ c·m^{2H−2}` for the
+//!   block-mean-aggregated series.
+//! * **Log-periodogram (GPH)**: `ln I(ω) ≈ c − (2H−1) ln ω` near ω → 0.
+
+use crate::fft::periodogram;
+use crate::regression::{loglog_fit, LinearFit};
+
+/// A Hurst estimate with its regression diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct HurstEstimate {
+    /// Estimated Hurst parameter.
+    pub h: f64,
+    /// Standard error propagated from the regression slope.
+    pub se: f64,
+    /// R² of the underlying log-log regression.
+    pub r_squared: f64,
+    /// Number of regression points.
+    pub points: usize,
+}
+
+impl HurstEstimate {
+    fn from_fit(fit: &LinearFit, h: f64, dh_dslope: f64) -> Self {
+        Self {
+            h,
+            se: fit.slope_se * dh_dslope.abs(),
+            r_squared: fit.r_squared,
+            points: fit.n,
+        }
+    }
+}
+
+/// Geometrically spaced block sizes in `[min_m, max_m]`.
+fn block_sizes(min_m: usize, max_m: usize, count: usize) -> Vec<usize> {
+    let mut sizes = Vec::with_capacity(count);
+    let lo = (min_m as f64).ln();
+    let hi = (max_m as f64).ln();
+    for i in 0..count {
+        let m = (lo + (hi - lo) * i as f64 / (count - 1).max(1) as f64).exp() as usize;
+        let m = m.max(min_m);
+        if sizes.last() != Some(&m) {
+            sizes.push(m);
+        }
+    }
+    sizes
+}
+
+/// Rescaled-range (R/S) Hurst estimator.
+///
+/// For each block size `m`, the series is cut into non-overlapping blocks;
+/// within each block the range of the cumulative mean-adjusted sums is
+/// divided by the block standard deviation, and the block average `R/S(m)`
+/// is regressed on `m` in log-log coordinates. The slope is `H`.
+///
+/// # Panics
+/// Panics if the series is shorter than 64 points.
+pub fn rs_hurst(series: &[f64]) -> HurstEstimate {
+    let n = series.len();
+    assert!(n >= 64, "R/S needs at least 64 observations, got {n}");
+
+    let max_m = n / 4;
+    let sizes = block_sizes(8, max_m, 20);
+    let mut ms = Vec::new();
+    let mut rs = Vec::new();
+
+    for &m in &sizes {
+        let blocks = n / m;
+        if blocks < 2 {
+            continue;
+        }
+        let mut acc = 0.0;
+        let mut used = 0usize;
+        for b in 0..blocks {
+            let seg = &series[b * m..(b + 1) * m];
+            let mean = seg.iter().sum::<f64>() / m as f64;
+            let sd = (seg.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / m as f64).sqrt();
+            if sd == 0.0 {
+                continue;
+            }
+            let mut cum = 0.0;
+            let mut lo = 0.0_f64;
+            let mut hi = 0.0_f64;
+            for &x in seg {
+                cum += x - mean;
+                lo = lo.min(cum);
+                hi = hi.max(cum);
+            }
+            acc += (hi - lo) / sd;
+            used += 1;
+        }
+        if used > 0 {
+            ms.push(m as f64);
+            rs.push(acc / used as f64);
+        }
+    }
+
+    let fit = loglog_fit(&ms, &rs).expect("R/S regression points");
+    HurstEstimate::from_fit(&fit, fit.slope, 1.0)
+}
+
+/// Aggregated-variance Hurst estimator.
+///
+/// The `m`-aggregated series `X^{(m)}_k = (1/m) Σ X_{(k−1)m+1..km}` of an
+/// LRD process satisfies `Var[X^{(m)}] ~ σ² m^{2H−2}`; the log-log slope β
+/// gives `H = 1 + β/2`.
+///
+/// # Panics
+/// Panics if the series is shorter than 64 points.
+pub fn aggregated_variance_hurst(series: &[f64]) -> HurstEstimate {
+    let n = series.len();
+    assert!(n >= 64, "aggregated variance needs at least 64 points, got {n}");
+
+    let sizes = block_sizes(2, n / 8, 20);
+    let mut ms = Vec::new();
+    let mut vars = Vec::new();
+    for &m in &sizes {
+        let blocks = n / m;
+        if blocks < 4 {
+            continue;
+        }
+        let means: Vec<f64> = (0..blocks)
+            .map(|b| series[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64)
+            .collect();
+        let grand = means.iter().sum::<f64>() / blocks as f64;
+        let var = means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>() / (blocks - 1) as f64;
+        if var > 0.0 {
+            ms.push(m as f64);
+            vars.push(var);
+        }
+    }
+
+    let fit = loglog_fit(&ms, &vars).expect("aggregated-variance regression points");
+    HurstEstimate::from_fit(&fit, 1.0 + fit.slope / 2.0, 0.5)
+}
+
+/// Geweke–Porter-Hudak (GPH) log-periodogram Hurst estimator.
+///
+/// Regresses `ln I(ω_j)` on `ln(4 sin²(ω_j/2)) ≈ 2 ln ω_j` over the lowest
+/// `⌊n^0.5⌋` Fourier frequencies; the slope is `−d` with `H = d + 1/2`.
+///
+/// # Panics
+/// Panics if the series is shorter than 128 points.
+pub fn periodogram_hurst(series: &[f64]) -> HurstEstimate {
+    let n = series.len();
+    assert!(n >= 128, "GPH needs at least 128 observations, got {n}");
+
+    let pg = periodogram(series);
+    let m = (pg.len() as f64).sqrt().floor() as usize * 2; // lowest ~2√(n/2) freqs
+    let m = m.clamp(8, pg.len());
+    let x: Vec<f64> = pg[..m]
+        .iter()
+        .map(|&(w, _)| (4.0 * (w / 2.0).sin().powi(2)).ln())
+        .collect();
+    let y: Vec<f64> = pg[..m]
+        .iter()
+        .map(|&(_, i)| if i > 0.0 { i.ln() } else { f64::NEG_INFINITY })
+        .collect();
+    // Drop any zero-power frequencies.
+    let (xs, ys): (Vec<f64>, Vec<f64>) = x
+        .into_iter()
+        .zip(y)
+        .filter(|&(_, v)| v.is_finite())
+        .unzip();
+    let fit = LinearFit::fit(&xs, &ys);
+    // slope = −d, H = d + 0.5
+    HurstEstimate::from_fit(&fit, 0.5 - fit.slope, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        let mut d = Normal::new(0.0, 1.0);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn rs_white_noise_near_half() {
+        let h = rs_hurst(&white_noise(65_536, 41));
+        // R/S has a well-known small-sample upward bias for iid data.
+        assert!(
+            h.h > 0.45 && h.h < 0.65,
+            "R/S H for white noise: {}",
+            h.h
+        );
+    }
+
+    #[test]
+    fn aggvar_white_noise_near_half() {
+        let h = aggregated_variance_hurst(&white_noise(65_536, 42));
+        assert!(
+            (h.h - 0.5).abs() < 0.06,
+            "aggregated-variance H for white noise: {}",
+            h.h
+        );
+    }
+
+    #[test]
+    fn gph_white_noise_near_half() {
+        let h = periodogram_hurst(&white_noise(65_536, 43));
+        assert!((h.h - 0.5).abs() < 0.12, "GPH H for white noise: {}", h.h);
+    }
+
+    #[test]
+    fn ar1_is_srd_despite_strong_lag1() {
+        // AR(1) with phi=0.9 has strong short-term correlation but H=1/2;
+        // the aggregated-variance estimator must not be fooled at large m.
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(44);
+        let mut d = Normal::new(0.0, 1.0);
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..262_144)
+            .map(|_| {
+                x = 0.9 * x + d.sample(&mut rng);
+                x
+            })
+            .collect();
+        let h = aggregated_variance_hurst(&series);
+        assert!(h.h < 0.72, "AR(1) should estimate near 0.5, got {}", h.h);
+    }
+
+    #[test]
+    fn estimators_report_diagnostics() {
+        let h = aggregated_variance_hurst(&white_noise(8_192, 45));
+        assert!(h.points >= 5);
+        assert!(h.se >= 0.0);
+        assert!(h.r_squared <= 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rs_rejects_short_series() {
+        rs_hurst(&[1.0; 32]);
+    }
+}

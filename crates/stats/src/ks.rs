@@ -1,0 +1,106 @@
+//! One-sample Kolmogorov–Smirnov test.
+//!
+//! The models crate claims its frame-size marginals (the paper's key design
+//! constraint is that all four model families share the *same* Gaussian
+//! marginal); the KS test is how the integration suite verifies that claim
+//! on generated paths.
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the
+    /// Stephens small-sample correction).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Runs the one-sample KS test of `sample` against the CDF `cdf`.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn ks_test(sample: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!sample.is_empty(), "empty sample");
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    let nf = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / nf;
+        let hi = (i + 1) as f64 / nf;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let lambda = (nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n,
+    }
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2k²λ²)`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use crate::rng::Xoshiro256PlusPlus;
+    use crate::special::normal_cdf;
+
+    #[test]
+    fn kolmogorov_sf_anchors() {
+        // Known quantiles: Q(1.2238) ~ 0.10, Q(1.3581) ~ 0.05.
+        assert!((kolmogorov_sf(1.2238) - 0.10).abs() < 0.005);
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 0.005);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_sample_passes_against_own_cdf() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(181);
+        let mut d = Normal::new(5.0, 2.0);
+        let sample: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test(&sample, |x| normal_cdf((x - 5.0) / 2.0));
+        assert!(r.p_value > 0.01, "p = {} (D = {})", r.p_value, r.statistic);
+    }
+
+    #[test]
+    fn shifted_sample_fails() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(182);
+        let mut d = Normal::new(5.5, 2.0); // half-sigma shift
+        let sample: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test(&sample, |x| normal_cdf((x - 5.0) / 2.0));
+        assert!(r.p_value < 1e-6, "shift must be detected, p = {}", r.p_value);
+    }
+
+    #[test]
+    fn uniform_sample_against_uniform_cdf() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(183);
+        let sample: Vec<f64> = (0..2_000).map(|_| rng.next_f64()).collect();
+        let r = ks_test(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(r.p_value > 0.01, "p = {}", r.p_value);
+        assert_eq!(r.n, 2_000);
+    }
+}

@@ -1,0 +1,258 @@
+//! Small dense linear algebra: the Levinson–Durbin recursion for symmetric
+//! Toeplitz systems and a pivoted Gaussian-elimination fallback.
+//!
+//! The DAR(p) matching step of the paper is a Yule–Walker fit: solve
+//! `R b = r` where `R` is the Toeplitz autocorrelation matrix
+//! `R[i][j] = r(|i−j|)` and `r = (r(1), …, r(p))`. Levinson–Durbin solves it
+//! in O(p²); the general solver exists to cross-validate it in tests and to
+//! handle non-Toeplitz systems if a caller ever needs one.
+
+/// Solves the symmetric Toeplitz system `T x = y` where
+/// `T[i][j] = t[|i − j|]`, via the generalized Levinson recursion.
+///
+/// `t` has length `n` (the first column of `T`), `y` has length `n`.
+/// Returns `None` if the recursion hits a singular leading minor (for a
+/// valid autocorrelation sequence of a non-deterministic process this cannot
+/// happen: the Toeplitz matrix is positive definite).
+pub fn solve_toeplitz(t: &[f64], y: &[f64]) -> Option<Vec<f64>> {
+    let n = t.len();
+    assert_eq!(n, y.len(), "dimension mismatch");
+    assert!(n > 0, "empty system");
+    if t[0] == 0.0 {
+        return None;
+    }
+
+    // Forward vector f solves T_k f = e_1 (first unit vector) at each order,
+    // maintained via the symmetric Levinson recursion; x is the solution of
+    // the leading k×k subsystem.
+    let mut f = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    f[0] = 1.0 / t[0];
+    x[0] = y[0] / t[0];
+
+    for k in 1..n {
+        // epsilon_f = sum over the new row acting on f.
+        let mut ef = 0.0;
+        for (j, &fj) in f.iter().enumerate().take(k) {
+            ef += t[k - j] * fj;
+        }
+        let denom = 1.0 - ef * ef;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        // New forward vector of order k+1 (symmetric case: backward vector is
+        // the reverse of the forward vector).
+        let mut fnew = vec![0.0; k + 1];
+        for j in 0..k {
+            fnew[j] += f[j] / denom;
+            fnew[k - j] -= ef * f[j] / denom;
+        }
+        f[..=k].copy_from_slice(&fnew);
+
+        // Extend the solution.
+        let mut ex = 0.0;
+        for (j, &xj) in x.iter().enumerate().take(k) {
+            ex += t[k - j] * xj;
+        }
+        let coef = y[k] - ex;
+        for j in 0..=k {
+            x[j] += coef * f[k - j];
+        }
+    }
+    Some(x)
+}
+
+/// Levinson–Durbin recursion for the Yule–Walker equations.
+///
+/// Given autocorrelations `r(0), r(1), …, r(p)` (with `r(0) = 1` after
+/// normalization — the routine normalizes internally), returns the AR(p)
+/// coefficients `φ_1 … φ_p` such that `r(k) = Σ_i φ_i r(k−i)` for
+/// `k = 1 … p`, plus the final prediction-error variance ratio
+/// `σ²_p / r(0)`.
+///
+/// Returns `None` if the sequence is not a valid positive-definite
+/// autocorrelation (a partial correlation leaves `[-1, 1]`).
+pub fn levinson_durbin(r: &[f64]) -> Option<(Vec<f64>, f64)> {
+    assert!(r.len() >= 2, "need r(0) and at least r(1)");
+    let r0 = r[0];
+    assert!(r0 > 0.0, "r(0) must be positive");
+    let p = r.len() - 1;
+
+    let mut phi = vec![0.0; p];
+    let mut prev = vec![0.0; p];
+    let mut err = r0;
+
+    for k in 0..p {
+        let mut acc = r[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * r[k - j];
+        }
+        let reflection = acc / err;
+        if !(-1.0..=1.0).contains(&reflection) || !reflection.is_finite() {
+            return None;
+        }
+        phi[k] = reflection;
+        for j in 0..k {
+            phi[j] = prev[j] - reflection * prev[k - 1 - j];
+        }
+        err *= 1.0 - reflection * reflection;
+        if err <= 0.0 {
+            // Deterministic process: r is on the boundary of validity.
+            if k + 1 < p {
+                return None;
+            }
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Some((phi, err / r0))
+}
+
+/// Solves a general dense system `A x = y` by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n×n`. Returns `None` if singular.
+pub fn solve_dense(a: &[f64], y: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix shape");
+    assert_eq!(y.len(), n, "rhs length");
+    let mut m = a.to_vec();
+    let mut b = y.to_vec();
+
+    for col in 0..n {
+        // Pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[r * n + col].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                m.swap(col * n + j, pivot_row * n + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let factor = m[r * n + col] / m[col * n + col];
+            if factor != 0.0 {
+                for j in col..n {
+                    m[r * n + j] -= factor * m[col * n + j];
+                }
+                b[r] -= factor * b[col];
+            }
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in row + 1..n {
+            acc -= m[row * n + j] * x[j];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn dense_solver_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = solve_dense(&a, &[3.0, 4.0], 2).unwrap();
+        assert_vec_close(&x, &[3.0, 4.0], 1e-12);
+    }
+
+    #[test]
+    fn dense_solver_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve_dense(&a, &[2.0, 5.0], 2).unwrap();
+        assert_vec_close(&x, &[5.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn dense_solver_detects_singular() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn toeplitz_matches_dense() {
+        // AR(1)-like autocorrelation column.
+        let t = [1.0, 0.6, 0.36, 0.216];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let n = t.len();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = t[(i as isize - j as isize).unsigned_abs()];
+            }
+        }
+        let xt = solve_toeplitz(&t, &y).unwrap();
+        let xd = solve_dense(&a, &y, n).unwrap();
+        assert_vec_close(&xt, &xd, 1e-9);
+    }
+
+    #[test]
+    fn toeplitz_order_one() {
+        let x = solve_toeplitz(&[2.0], &[6.0]).unwrap();
+        assert_vec_close(&x, &[3.0], 1e-12);
+    }
+
+    #[test]
+    fn levinson_recovers_ar1() {
+        // For AR(1) with coefficient 0.7: r(k) = 0.7^k.
+        let r: Vec<f64> = (0..=3).map(|k| 0.7_f64.powi(k)).collect();
+        let (phi, err) = levinson_durbin(&r).unwrap();
+        assert_vec_close(&phi, &[0.7, 0.0, 0.0], 1e-10);
+        assert!((err - (1.0 - 0.49)).abs() < 1e-10, "err {err}");
+    }
+
+    #[test]
+    fn levinson_recovers_ar2() {
+        // AR(2): x_n = 0.5 x_{n-1} + 0.3 x_{n-2} + e. Yule-Walker forward:
+        // r(1) = 0.5/(1-0.3), r(k) = 0.5 r(k-1) + 0.3 r(k-2).
+        let r1: f64 = 0.5 / 0.7;
+        let r2 = 0.5 * r1 + 0.3;
+        let r3 = 0.5 * r2 + 0.3 * r1;
+        let (phi, _) = levinson_durbin(&[1.0, r1, r2, r3]).unwrap();
+        assert_vec_close(&phi, &[0.5, 0.3, 0.0], 1e-10);
+    }
+
+    #[test]
+    fn levinson_matches_toeplitz_solver() {
+        // Yule-Walker via Levinson must equal the Toeplitz solve of R b = r.
+        let r = [1.0, 0.684, 0.528, 0.44];
+        let (phi, _) = levinson_durbin(&r).unwrap();
+        let x = solve_toeplitz(&r[..3], &r[1..]).unwrap();
+        assert_vec_close(&phi, &x, 1e-9);
+    }
+
+    #[test]
+    fn levinson_rejects_invalid_acf() {
+        // r(1) = 1.2 is not a correlation.
+        assert!(levinson_durbin(&[1.0, 1.2]).is_none());
+        // Violates positive definiteness: r(1)=0.9, r(2)=-0.9.
+        assert!(levinson_durbin(&[1.0, 0.9, -0.9]).is_none());
+    }
+
+    #[test]
+    fn levinson_unnormalized_input() {
+        // Same answer whether r is normalized or scaled by a variance.
+        let r: Vec<f64> = (0..=3).map(|k| 0.6_f64.powi(k)).collect();
+        let scaled: Vec<f64> = r.iter().map(|v| v * 123.0).collect();
+        let (a, ea) = levinson_durbin(&r).unwrap();
+        let (b, eb) = levinson_durbin(&scaled).unwrap();
+        assert_vec_close(&a, &b, 1e-12);
+        assert!((ea - eb).abs() < 1e-12);
+    }
+}

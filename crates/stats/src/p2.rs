@@ -1,0 +1,212 @@
+//! Streaming quantile estimation (the P² algorithm of Jain & Chlamtac).
+//!
+//! The replication harness can produce hundreds of millions of workload
+//! observations per run; storing them to compute delay percentiles (the
+//! "maximum delay" QoS metric is really a high quantile in practice) is not
+//! an option. P² maintains five markers and adjusts them with parabolic
+//! interpolation — O(1) memory and time per observation, typically within
+//! a fraction of a percent of the exact quantile for smooth distributions.
+
+/// P² estimator for a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: usize,
+    /// Initial observations buffer (first five).
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ (0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile level.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations processed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup.sort_by(|a, b| a.total_cmp(b));
+                for (h, &w) in self.heights.iter_mut().zip(self.warmup.iter()) {
+                    *h = w;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x and bump marker positions.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("bracketed above")
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate.
+    ///
+    /// Before five observations have arrived this falls back to the exact
+    /// small-sample quantile of what has been seen.
+    ///
+    /// # Panics
+    /// Panics if no observations have been fed.
+    pub fn estimate(&self) -> f64 {
+        assert!(self.count > 0, "no observations");
+        if self.warmup.len() < 5 {
+            let mut xs = self.warmup.clone();
+            xs.sort_by(|a, b| a.total_cmp(b));
+            return crate::descriptive::quantile(&xs, self.q);
+        }
+        self.heights[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use crate::rng::Xoshiro256PlusPlus;
+    use crate::special::normal_quantile;
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p2 = P2Quantile::new(0.5);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(401);
+        for _ in 0..200_000 {
+            p2.observe(rng.next_f64());
+        }
+        let est = p2.estimate();
+        assert!((est - 0.5).abs() < 0.01, "median {est}");
+    }
+
+    #[test]
+    fn high_quantile_of_gaussian() {
+        // The regime the simulator cares about: a p99.9 delay percentile.
+        let mut p2 = P2Quantile::new(0.999);
+        let mut d = Normal::new(100.0, 15.0);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(402);
+        for _ in 0..400_000 {
+            p2.observe(d.sample(&mut rng));
+        }
+        let exact = 100.0 + 15.0 * normal_quantile(0.999);
+        let est = p2.estimate();
+        assert!(
+            (est - exact).abs() < 0.02 * exact,
+            "p99.9: {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn small_samples_fall_back_to_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        p2.observe(3.0);
+        p2.observe(1.0);
+        p2.observe(2.0);
+        assert!((p2.estimate() - 2.0).abs() < 1e-12);
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    fn monotone_in_quantile_level() {
+        let mut lo = P2Quantile::new(0.25);
+        let mut hi = P2Quantile::new(0.75);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(403);
+        for _ in 0..50_000 {
+            let x = rng.next_f64();
+            lo.observe(x);
+            hi.observe(x);
+        }
+        assert!(lo.estimate() < hi.estimate());
+        assert!((lo.estimate() - 0.25).abs() < 0.02);
+        assert!((hi.estimate() - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_level() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn estimate_requires_data() {
+        P2Quantile::new(0.5).estimate();
+    }
+}

@@ -1,0 +1,138 @@
+//! Ordinary least squares for simple (one-regressor) linear models.
+//!
+//! The three Hurst estimators are all log-log regressions; this module gives
+//! them slope, intercept, standard errors and R².
+
+/// Result of a simple linear regression `y = intercept + slope·x + ε`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Standard error of the slope estimate.
+    pub slope_se: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits `y = a + b·x` by ordinary least squares.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 points, mismatched lengths, or all `x` equal.
+    pub fn fit(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let n = x.len();
+        assert!(n >= 2, "need at least two points");
+        let nf = n as f64;
+        let mx = x.iter().sum::<f64>() / nf;
+        let my = y.iter().sum::<f64>() / nf;
+        let sxx: f64 = x.iter().map(|&v| (v - mx).powi(2)).sum();
+        assert!(sxx > 0.0, "regressor is constant");
+        let sxy: f64 = x.iter().zip(y).map(|(&u, &v)| (u - mx) * (v - my)).sum();
+        let syy: f64 = y.iter().map(|&v| (v - my).powi(2)).sum();
+
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_res: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(&u, &v)| (v - intercept - slope * u).powi(2))
+            .sum();
+        let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+        let slope_se = if n > 2 {
+            (ss_res / ((nf - 2.0) * sxx)).sqrt()
+        } else {
+            0.0
+        };
+        Self {
+            slope,
+            intercept,
+            slope_se,
+            r_squared,
+            n,
+        }
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Convenience: fit on `(ln x, ln y)` pairs, skipping non-positive entries.
+///
+/// Returns `None` if fewer than 2 usable points remain.
+pub fn loglog_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    let pts: (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter(|&(&u, &v)| u > 0.0 && v > 0.0)
+        .map(|(&u, &v)| (u.ln(), v.ln()))
+        .unzip();
+    if pts.0.len() < 2 {
+        return None;
+    }
+    Some(LinearFit::fit(&pts.0, &pts.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = LinearFit::fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!(f.slope_se < 1e-10);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let f = LinearFit::fit(&x, &y);
+        assert!((f.slope - 1.0).abs() < 0.1);
+        assert!(f.r_squared > 0.98 && f.r_squared < 1.0);
+        assert!(f.slope_se > 0.0);
+    }
+
+    #[test]
+    fn loglog_power_law() {
+        // y = 3 x^{-0.4}
+        let x: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v.powf(-0.4)).collect();
+        let f = loglog_fit(&x, &y).unwrap();
+        assert!((f.slope + 0.4).abs() < 1e-10);
+        assert!((f.intercept.exp() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive() {
+        let x = [1.0, 2.0, 0.0, 4.0];
+        let y = [2.0, 4.0, 9.0, 8.0];
+        let f = loglog_fit(&x, &y).unwrap();
+        assert_eq!(f.n, 3);
+        assert!((f.slope - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn loglog_too_few_points() {
+        assert!(loglog_fit(&[1.0], &[1.0]).is_none());
+        assert!(loglog_fit(&[-1.0, -2.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_constant_regressor() {
+        LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Connection admission control on an OC-3 ATM link — the paper's
+//! motivating application (via Elwalid et al.).
+//!
+//! An OC-3 carries ~353,207 cells/sec of ATM payload. How many VBR video
+//! sources (mean 500 cells/frame at 25 frames/sec = 12,500 cells/sec) can
+//! be admitted at CLR <= 1e-6 with a 2 ms switch buffer — and does it
+//! matter whether the admission controller models the source as LRD or as
+//! a simple Markov (DAR) fit?
+//!
+//! Run with: `cargo run --release --example admission_control`
+
+use lrd_video::prelude::*;
+
+fn main() {
+    // OC-3: 155.52 Mbit/s; ATM payload rate ~353,207 cells/s.
+    let link_cells_per_sec = 353_207.0;
+    let capacity = link_cells_per_sec * paper::TS; // cells per frame time
+    let target_clr = 1e-6;
+
+    println!("OC-3 link: {capacity:.0} cells/frame-time capacity");
+    println!("source: VBR video, mean 500 cells/frame (12.5k cells/s), var 5000");
+    println!("target CLR: {target_clr:e}\n");
+
+    let peak_admissible = (capacity / (paper::MEAN + 3.0 * paper::VARIANCE.sqrt())) as usize;
+    let mean_admissible = (capacity / paper::MEAN) as usize;
+    println!("peak-rate allocation (mean+3sd):   {peak_admissible} sources");
+    println!("mean-rate allocation (no QoS):     {mean_admissible} sources (unstable target)\n");
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "traffic model", "B = 0.5 ms", "B = 2 ms", "B = 8 ms"
+    );
+    let z = paper::build_z(0.975);
+    let models: Vec<(String, SourceStats)> = vec![
+        (
+            "Z^0.975 (true LRD source)".into(),
+            SourceStats::from_process(&z, 16_384),
+        ),
+        (
+            "DAR(1) fit".into(),
+            SourceStats::from_process(&paper::build_s(0.975, 1), 16_384),
+        ),
+        (
+            "DAR(3) fit".into(),
+            SourceStats::from_process(&paper::build_s(0.975, 3), 16_384),
+        ),
+        (
+            "L (LRD tail only)".into(),
+            SourceStats::from_process(&paper::build_l(), 16_384),
+        ),
+        (
+            "IID (no correlation)".into(),
+            SourceStats::from_process(
+                &IidProcess::new(Marginal::paper_gaussian()),
+                16_384,
+            ),
+        ),
+    ];
+
+    for (label, stats) in &models {
+        print!("{label:<28}");
+        for delay_ms in [0.5, 2.0, 8.0] {
+            let buffer = delay_ms / 1e3 * link_cells_per_sec; // cells
+            let n = max_admissible_sources(
+                stats,
+                capacity,
+                buffer,
+                target_clr,
+                Asymptotic::BahadurRao,
+            );
+            print!(" {n:>12}");
+        }
+        println!();
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!(" * Every statistical model lands within 1-2 connections of the true");
+    println!("   LRD source. This is the paper's §5.4 observation verbatim: CLR");
+    println!("   gaps of an order of magnitude \"become negligible when the loss");
+    println!("   rate is translated to the number of admissible VBR video");
+    println!("   connections\" — which is why DAR(1)-based CAC worked on real");
+    println!("   LRD traces (Elwalid et al.).");
+    println!(" * All of them beat peak-rate allocation by ~30% more connections.");
+}

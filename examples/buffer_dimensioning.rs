@@ -1,0 +1,84 @@
+//! Buffer and bandwidth dimensioning: the provisioning questions an ATM
+//! operator actually asks, answered for LRD and Markov views of the same
+//! video source.
+//!
+//! The "myth" the paper demolishes says LRD makes buffer requirements
+//! explode (the Weibull BOP decays so slowly that no finite buffer looks
+//! sufficient). The reality: within real-time delay budgets the requirement
+//! is set by short-term correlations, and the LRD tail only inflates the
+//! numbers at loss targets / buffer sizes nobody can use.
+//!
+//! Run with: `cargo run --release --example buffer_dimensioning`
+
+use lrd_video::prelude::*;
+
+fn main() {
+    let n = 30;
+    let c = 538.0;
+    let horizon = 65_536;
+
+    let sources: Vec<(&str, SourceStats)> = vec![
+        (
+            "Z^0.975 (LRD, strong short)",
+            SourceStats::from_process(&paper::build_z(0.975), horizon),
+        ),
+        (
+            "Z^0.7   (LRD, weak short)",
+            SourceStats::from_process(&paper::build_z(0.7), horizon),
+        ),
+        (
+            "DAR(1) fit of Z^0.975",
+            SourceStats::from_process(&paper::build_s(0.975, 1), horizon),
+        ),
+        (
+            "L       (LRD tail only)",
+            SourceStats::from_process(&paper::build_l(), horizon),
+        ),
+    ];
+
+    println!("Buffer required (as max delay, msec) at c = {c} cells/frame, N = {n}:");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10}",
+        "source model", "CLR 1e-4", "CLR 1e-6", "CLR 1e-8"
+    );
+    for (label, stats) in &sources {
+        print!("{label:<30}");
+        for target in [1e-4, 1e-6, 1e-8] {
+            match required_buffer(stats, c, n, target) {
+                Some(b) => {
+                    let ms = b / c * paper::TS * 1e3;
+                    print!(" {ms:>9.2}m");
+                }
+                None => print!(" {:>10}", "infeasible"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nEffective bandwidth (cells/frame per source) at a 2 ms buffer:");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10}",
+        "source model", "CLR 1e-4", "CLR 1e-6", "CLR 1e-8"
+    );
+    let b2 = buffer_from_delay_ms(2.0, c, paper::TS);
+    for (label, stats) in &sources {
+        print!("{label:<30}");
+        for target in [1e-4, 1e-6, 1e-8] {
+            match required_bandwidth(stats, b2, n, target) {
+                Some(cc) => print!(" {cc:>10.1}"),
+                None => print!(" {:>10}", "infeasible"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nHow to read this:");
+    println!(" * Every requirement is finite and inside the 20-30 ms budget at");
+    println!("   CLR 1e-6 — LRD does not blow up the buffer demand where it counts.");
+    println!(" * The gap between Z^0.975 and Z^0.7 (same H!) dwarfs the gap");
+    println!("   between Z^0.975 and its memoryless-tail DAR(1) fit: short-term");
+    println!("   correlation is the provisioning variable that matters.");
+    println!(" * Effective bandwidth barely moves with the loss target across");
+    println!("   4 orders of magnitude — the mean-plus-margin structure the");
+    println!("   effective-bandwidth literature promises, intact under LRD.");
+}

@@ -1,0 +1,60 @@
+//! Hurst-parameter analysis of the model zoo — reproducing the measurement
+//! step that started the whole LRD debate (Beran et al. found H > 0.5 in
+//! VBR video; the paper asks whether that matters).
+//!
+//! Generates paths from each model and estimates H three ways (R/S,
+//! aggregated variance, log-periodogram), comparing against the design
+//! value.
+//!
+//! Run with: `cargo run --release --example hurst_analysis`
+
+use lrd_video::prelude::*;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+use vbr_stats::{aggregated_variance_hurst, periodogram_hurst, rs_hurst};
+
+fn main() {
+    let n = 1 << 17; // 131,072 frames (~87 minutes of video)
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(7777);
+
+    let models: Vec<(Box<dyn FrameProcess>, &str)> = vec![
+        (
+            Box::new(IidProcess::new(Marginal::paper_gaussian())),
+            "0.50 (SRD)",
+        ),
+        (Box::new(paper::build_s(0.975, 1)), "0.50 (SRD)"),
+        (Box::new(paper::build_z(0.975)), "0.90"),
+        (Box::new(paper::build_z(0.7)), "0.90"),
+        (Box::new(paper::build_v(1.0)), "0.95"),
+        (Box::new(paper::build_l()), "0.86"),
+    ];
+
+    println!("{n} frames per model; three estimators per path\n");
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>8}",
+        "model", "design H", "R/S", "aggvar", "GPH"
+    );
+    for (mut model, design) in models {
+        model.reset(&mut rng);
+        let path: Vec<f64> = (0..n).map(|_| model.next_frame(&mut rng)).collect();
+        let rs = rs_hurst(&path);
+        let av = aggregated_variance_hurst(&path);
+        let pg = periodogram_hurst(&path);
+        println!(
+            "{:<16} {:>10} {:>8.3} {:>8.3} {:>8.3}",
+            model.label(),
+            design,
+            rs.h,
+            av.h,
+            pg.h
+        );
+    }
+
+    println!();
+    println!("Notes:");
+    println!(" * Z^a and V^v estimate H > 0.5 however weak or strong their");
+    println!("   short-term correlation knob — LRD is a tail property.");
+    println!(" * The DAR(1) fit of Z^0.975 estimates H ~ 0.5-0.6: it looks just");
+    println!("   like the source at short lags but has no long memory at all.");
+    println!(" * That pair — same CLR behaviour (paper Figs 6/9), different H —");
+    println!("   is the whole \"myth vs reality\" of the paper.");
+}

@@ -1,0 +1,100 @@
+//! Fitting a parsimonious Markov model to an LRD "trace" and checking what
+//! the fit is worth — the paper's §3/§5 workflow end to end.
+//!
+//! We treat a generated `Z^0.975` path as if it were a measured VBR video
+//! trace: estimate its sample ACF, fit DAR(p) models by Yule-Walker on the
+//! *estimated* correlations, then compare the fitted models' loss
+//! predictions (and a simulation) against the source itself.
+//!
+//! Run with: `cargo run --release --example model_fitting`
+
+use lrd_video::prelude::*;
+use vbr_core::matching::fit_dar;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+use vbr_stats::{aggregated_variance_hurst, sample_acf_fft, Moments};
+
+fn main() {
+    // --- "Measure" a trace ------------------------------------------------
+    let mut source = paper::build_z(0.975);
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(2024);
+    let n_frames = 400_000;
+    let trace: Vec<f64> = (0..n_frames).map(|_| source.next_frame(&mut rng)).collect();
+
+    let mut m = Moments::new();
+    m.extend(&trace);
+    let acf = sample_acf_fft(&trace, 64);
+    let hurst = aggregated_variance_hurst(&trace);
+    println!("trace: {n_frames} frames");
+    println!("  sample mean {:.1}, variance {:.0}", m.mean(), m.variance());
+    println!(
+        "  sample r(1) = {:.3} (model: {:.3}); estimated H = {:.2} (designed 0.9)",
+        acf[1],
+        source.autocorrelations(1)[1],
+        hurst.h
+    );
+
+    // --- Fit DAR(p) from the *sample* ACF ---------------------------------
+    println!("\nYule-Walker DAR(p) fits from the estimated ACF:");
+    let marginal = Marginal::Gaussian {
+        mean: m.mean(),
+        sd: m.variance().sqrt(),
+    };
+    let mut fits = Vec::new();
+    for p in 1..=3 {
+        match fit_dar(&acf, p, marginal.clone()) {
+            Ok(params) => {
+                println!(
+                    "  DAR({p}): rho = {:.4}, lag probs = {:?}",
+                    params.rho,
+                    params
+                        .lag_probs
+                        .iter()
+                        .map(|x| (x * 1000.0).round() / 1000.0)
+                        .collect::<Vec<_>>()
+                );
+                fits.push((p, DarProcess::new(params)));
+            }
+            Err(e) => println!("  DAR({p}): fit failed ({e})"),
+        }
+    }
+
+    // --- Compare loss predictions ------------------------------------------
+    let c = 538.0;
+    let n = 30;
+    println!("\nBahadur-Rao BOP at N = {n}, c = {c} (buffer in ms):");
+    println!(
+        "{:>8} {:>14} {}",
+        "ms",
+        "source Z^0.975",
+        fits.iter()
+            .map(|(p, _)| format!("{:>14}", format!("DAR({p}) fit")))
+            .collect::<String>()
+    );
+    let src_stats = SourceStats::from_process(&source, 16_384);
+    let fit_stats: Vec<SourceStats> = fits
+        .iter()
+        .map(|(_, f)| SourceStats::from_process(f, 16_384))
+        .collect();
+    for delay_ms in [0.5, 2.0, 5.0, 10.0, 20.0] {
+        let b = buffer_from_delay_ms(delay_ms, c, paper::TS);
+        print!("{delay_ms:>8} {:>14.3e}", bahadur_rao_bop(&src_stats, c, b, n));
+        for fs in &fit_stats {
+            print!(" {:>14.3e}", bahadur_rao_bop(fs, c, b, n));
+        }
+        println!();
+    }
+
+    // --- And a small head-to-head simulation -------------------------------
+    println!("\nsimulated CLR at a 2 ms buffer (quick scale):");
+    let b_total = buffer_from_delay_ms(2.0, c, paper::TS) * n as f64;
+    let cfg = SimConfig::paper_defaults(vec![b_total], 30_000, 6);
+    let z_sim = simulate_clr(&source, &cfg).per_buffer[0].pooled.clr();
+    println!("  {:<14} {z_sim:.3e}", source.label());
+    for (p, fit) in &fits {
+        let s = simulate_clr(fit, &cfg).per_buffer[0].pooled.clr();
+        println!("  DAR({p}) fit     {s:.3e}");
+    }
+    println!("\nTakeaway: the DAR fits, which ignore the LRD tail entirely,");
+    println!("track the source's loss within the gap the paper reports; more");
+    println!("matched lags (p) close the gap further.");
+}

@@ -1,0 +1,66 @@
+//! Critical Time Scale of an MPEG GOP-structured source — the paper's §6.2
+//! "further work" ("finding CTS of various types of traffic sources
+//! including MPEG-coded video"), executed.
+//!
+//! The MPEG model layers a deterministic 12-frame GOP pattern (I/P/B frame
+//! sizes) under a slow DAR(1) scene-activity process. Its ACF oscillates
+//! with the GOP period; the CTS machinery handles it unchanged.
+//!
+//! Run with: `cargo run --release --example mpeg_cts`
+
+use lrd_video::models::{GopPattern, MpegGopModel};
+use lrd_video::prelude::*;
+
+fn main() {
+    // A transport-shaped MPEG source: sender-side smoothing has softened the
+    // raw I/P/B size ratios to about 2 : 1.5 : 1 (raw MPEG-1 ratios of
+    // ~5 : 2.5 : 1 give a frame-size variance ~29x the paper's models and
+    // would be carried GOP-smoothed on any real link).
+    let unit = 500.0 * 12.0 / 14.5;
+    let pattern = GopPattern::from_str("IBBPBBPBBPBB", 2.0 * unit, 1.5 * unit, unit);
+    let mpeg = MpegGopModel::new(pattern, 0.98, 0.25, 40.0);
+    println!("model: {} (transport-shaped sizes)", mpeg.label());
+    println!("  mean {:.0} cells/frame, variance {:.0}", mpeg.mean(), mpeg.variance());
+    let acf = mpeg.autocorrelations(36);
+    println!("  ACF shows the GOP period: r(6) = {:.3} vs r(12) = {:.3} vs r(24) = {:.3}",
+        acf[6], acf[12], acf[24]);
+
+    // Operating point: a large link carrying N = 100 such streams at
+    // ~9% headroom over the mean. Compare against a smooth DAR(1) source
+    // with the same mean/variance/lag-1 correlation.
+    let c = mpeg.mean() + 0.25 * mpeg.variance().sqrt();
+    let stats_mpeg = SourceStats::from_process(&mpeg, 16_384);
+    let dar = DarProcess::new(DarParams::dar1(
+        acf[1].max(0.0),
+        Marginal::Gaussian {
+            mean: mpeg.mean(),
+            sd: mpeg.variance().sqrt(),
+        },
+    ));
+    let stats_dar = SourceStats::from_process(&dar, 16_384);
+
+    let n = 100;
+    println!("\nCTS and B-R BOP (N = {n}, c = {c:.0} cells/frame):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "ms", "m* MPEG", "m* DAR(1)", "BOP MPEG", "BOP DAR(1)"
+    );
+    for delay_ms in [0.5, 2.0, 5.0, 10.0, 20.0, 30.0] {
+        let b = buffer_from_delay_ms(delay_ms, c, paper::TS);
+        let cts_m = critical_time_scale(&stats_mpeg, c, b);
+        let cts_d = critical_time_scale(&stats_dar, c, b);
+        println!(
+            "{delay_ms:>8} {:>12} {:>12} {:>14.3e} {:>14.3e}",
+            cts_m.m_star,
+            cts_d.m_star,
+            bahadur_rao_bop(&stats_mpeg, c, b, n),
+            bahadur_rao_bop(&stats_dar, c, b, n),
+        );
+    }
+
+    println!("\nReading the table: the MPEG CTS stays at 1 until the buffer");
+    println!("covers a couple of GOP cycles, then jumps — averaging over whole");
+    println!("I/P/B cycles is what pays off, plus a few scene-length lags.");
+    println!("Nothing at long range enters the loss estimate, which is the");
+    println!("paper's conjecture for MPEG made concrete.");
+}

@@ -1,0 +1,84 @@
+//! A small ATM switch scenario: three output ports with different traffic
+//! mixes, per-port loss and delay-percentile measurement — composing the
+//! multiplexer substrate the way a deployment would.
+//!
+//! Run with: `cargo run --release --example switch_scenario`
+
+use lrd_video::prelude::*;
+use lrd_video::sim::{OutputQueuedSwitch, PortConfig};
+use vbr_stats::rng::Xoshiro256PlusPlus;
+use vbr_stats::P2Quantile;
+
+fn main() {
+    // Port 0: an LRD movie trunk — 10 x Z^0.975 at c = 538 each.
+    // Port 1: videoconference — 10 x DAR(1) (rho 0.9), provisioned tighter.
+    // Port 2: the same videoconference load with half the buffer.
+    let ports = [
+        PortConfig {
+            capacity: 10.0 * 538.0,
+            buffer: 300.0,
+        },
+        PortConfig {
+            capacity: 10.0 * 530.0,
+            buffer: 300.0,
+        },
+        PortConfig {
+            capacity: 10.0 * 530.0,
+            buffer: 150.0,
+        },
+    ];
+
+    let mut routed: Vec<(Box<dyn FrameProcess>, usize)> = Vec::new();
+    for _ in 0..10 {
+        routed.push((Box::new(paper::build_z(0.975)), 0));
+    }
+    for port in [1usize, 2] {
+        for _ in 0..10 {
+            routed.push((
+                Box::new(DarProcess::new(DarParams::dar1(
+                    0.9,
+                    Marginal::paper_gaussian(),
+                ))),
+                port,
+            ));
+        }
+    }
+
+    let mut switch = OutputQueuedSwitch::new(&ports, routed);
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(2026);
+    switch.reset(&mut rng);
+
+    // Track p99.9 of each port's workload (the delay percentile a real QoS
+    // report would carry) with O(1)-memory P2 estimators.
+    let mut p999: Vec<P2Quantile> = (0..3).map(|_| P2Quantile::new(0.999)).collect();
+    let frames = 8_000;
+    for _ in 0..frames {
+        switch.step(&mut rng);
+        for (port, est) in p999.iter_mut().enumerate() {
+            est.observe(switch.port_workload(port));
+        }
+    }
+
+    println!("{frames} frames through a 3-port output-queued switch\n");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>16}",
+        "port", "offered", "lost", "CLR", "p99.9 delay"
+    );
+    for port in 0..3 {
+        let acct = switch.port_account(port);
+        let cap = ports[port].capacity;
+        let delay_ms = p999[port].estimate() / cap * paper::TS * 1e3;
+        println!(
+            "{:<6} {:>12.0} {:>12.1} {:>14.3e} {:>13.3} ms",
+            port,
+            acct.offered,
+            acct.lost,
+            acct.clr(),
+            delay_ms
+        );
+    }
+    println!("\nPorts 1 and 2 carry identical traffic; halving the buffer");
+    println!("(port 2) moves the loss/delay trade-off exactly as the CTS");
+    println!("analysis predicts — and the LRD trunk on port 0 needs no");
+    println!("special treatment beyond its short-term-correlation headroom.");
+}

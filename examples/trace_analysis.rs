@@ -1,0 +1,56 @@
+//! Trace-driven analysis: record a "measured" trace, ship it through the
+//! text codec, and run the full traffic-engineering pipeline on the replay —
+//! the workflow a user with real video traces would follow.
+//!
+//! Run with: `cargo run --release --example trace_analysis`
+
+use lrd_video::prelude::*;
+use lrd_video::sim::TraceProcess;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+fn main() {
+    // 1. "Capture" a trace (stand-in for a real capture file).
+    let mut source = paper::build_z(0.9);
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(90210);
+    source.reset(&mut rng);
+    let frames: Vec<f64> = (0..120_000).map(|_| source.next_frame(&mut rng)).collect();
+    println!("captured {} frames from {}", frames.len(), source.label());
+
+    // 2. Round-trip the interchange format (one frame size per line).
+    let trace = TraceProcess::new(frames, "captured-Z0.9", 8_192);
+    let text = trace.serialize();
+    let trace = TraceProcess::parse(&text, "captured-Z0.9", 8_192).expect("parse");
+    println!(
+        "codec round-trip ok: {} frames, {} bytes of text",
+        trace.len(),
+        text.len()
+    );
+
+    // 3. Profile the replayed trace exactly like an analytic model.
+    let config = ReportConfig {
+        acf_horizon: 8_192,
+        diagnostic_frames: 32_768,
+        ..ReportConfig::default()
+    };
+    let report = TrafficReport::build(&trace, &config);
+    println!("\n{}", report.render());
+
+    // 4. Compare trace-driven CTS against the generating model's.
+    let c = 538.0;
+    let s_trace = SourceStats::from_process(&trace, 8_192);
+    let s_model = SourceStats::from_process(&source, 8_192);
+    println!("CTS, trace replay vs generating model:");
+    for ms in [1.0, 5.0, 15.0] {
+        let b = buffer_from_delay_ms(ms, c, paper::TS);
+        let t = critical_time_scale(&s_trace, c, b);
+        let m = critical_time_scale(&s_model, c, b);
+        println!("  {ms:>5} ms:  trace m* = {:>3}   model m* = {:>3}", t.m_star, m.m_star);
+    }
+    println!("\nThe trace's *estimated* statistics drive the CTS/BOP machinery");
+    println!("directly — no model fitting required. Expect the trace numbers to");
+    println!("sit near (not on) the model's: a finite capture of an LRD source");
+    println!("is itself a wandering object (its sample mean/variance drift for");
+    println!("any feasible length), which is faithful to what measuring real");
+    println!("video gives you. The LRD tail estimation error is harmless: the");
+    println!("CTS never reads that far into the ACF.");
+}

@@ -1,0 +1,26 @@
+//! One-page traffic-engineering profiles for the paper's model zoo — the
+//! "what would an operator print out" view of each source.
+//!
+//! Run with: `cargo run --release --example traffic_report`
+
+use lrd_video::prelude::*;
+
+fn main() {
+    let config = ReportConfig {
+        acf_horizon: 16_384,
+        diagnostic_frames: 32_768,
+        ..ReportConfig::default()
+    };
+    let models: Vec<Box<dyn FrameProcess>> = vec![
+        Box::new(paper::build_z(0.975)),
+        Box::new(paper::build_s(0.975, 1)),
+        Box::new(paper::build_l()),
+    ];
+    for model in &models {
+        let report = TrafficReport::build(model.as_ref(), &config);
+        println!("{}", report.render());
+    }
+    println!("Same marginal, same link — but compare the CTS columns: the");
+    println!("profile that drives provisioning is the short-lag ACF, and the");
+    println!("Hurst row (the 'LRD detector') barely predicts any of it.");
+}

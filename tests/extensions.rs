@@ -1,0 +1,197 @@
+//! Integration tests for the extension surfaces: heterogeneous mixes,
+//! non-Gaussian marginals (paper §6.1), the CLP priority queue, AAL5
+//! framing, and the provisioning inverses.
+
+use lrd_video::atm::{self, CellHeader, PayloadType};
+use lrd_video::prelude::*;
+use vbr_core::experiments::SimScale;
+use vbr_stats::ks_test;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+/// Heterogeneous multiplexer: a 50/50 mix of an LRD source and its DAR(1)
+/// fit should lose at a rate between the two homogeneous systems.
+#[test]
+fn mixed_multiplexer_interpolates() {
+    let z = paper::build_z(0.99);
+    let d = paper::build_s(0.99, 1);
+    let scale = SimScale {
+        frames: 10_000,
+        replications: 4,
+    };
+    let b_total = buffer_from_delay_ms(1.0, 538.0, paper::TS) * 30.0;
+    let mut cfg = SimConfig::paper_defaults(vec![b_total], scale.frames, scale.replications);
+    cfg.seed = 1717;
+
+    let hom_z = simulate_clr(&z, &cfg).per_buffer[0].pooled.clr();
+    let hom_d = simulate_clr(&d, &cfg).per_buffer[0].pooled.clr();
+    let mix = SourceMix::new(vec![(&z as &dyn FrameProcess, 15), (&d as &dyn FrameProcess, 15)]);
+    assert_eq!(mix.total(), 30);
+    assert!((mix.mean() - 15_000.0).abs() < 1e-6);
+    let mixed = simulate_clr_mix(&mix, &cfg).per_buffer[0].pooled.clr();
+
+    let lo = hom_d.min(hom_z);
+    let hi = hom_d.max(hom_z);
+    assert!(
+        mixed >= lo * 0.2 && mixed <= hi * 2.0,
+        "mixed CLR {mixed:e} should sit between {lo:e} and {hi:e} (with noise slack)"
+    );
+}
+
+/// Paper §6.1: a negative-binomial marginal with the same mean/variance
+/// behaves like the Gaussian at the same operating point once bandwidth is
+/// provisioned — here we check the zero-buffer CLR moves only modestly.
+#[test]
+fn negative_binomial_marginal_zero_buffer() {
+    let gauss = IidProcess::new(Marginal::paper_gaussian());
+    let negbin = IidProcess::new(Marginal::NegativeBinomial {
+        mean: 500.0,
+        variance: 5000.0,
+    });
+    let cfg = SimConfig::paper_defaults(vec![0.0], 30_000, 4);
+    let g = simulate_clr(&gauss, &cfg).per_buffer[0].pooled.clr();
+    let nb = simulate_clr(&negbin, &cfg).per_buffer[0].pooled.clr();
+    assert!(g > 0.0 && nb > 0.0);
+    // NB has a heavier right tail: its loss should be >= Gaussian's, but at
+    // N = 30 aggregated sources the CLT keeps them within a small factor.
+    assert!(
+        nb >= g * 0.5 && nb <= g * 6.0,
+        "negbin CLR {nb:e} vs gaussian {g:e}"
+    );
+}
+
+/// The models' Gaussian-marginal claim, tested formally with KS.
+///
+/// Sampling discipline matters here: for an H = 0.95 process a single path's
+/// empirical distribution wanders for any feasible length (the sample mean's
+/// own sd is still ~45 cells at n = 6000 — LRD again), so the marginal is
+/// tested on the **ensemble**: one frame from each of many independent
+/// stationary restarts, which is i.i.d. from the true marginal.
+#[test]
+fn marginals_pass_ks_against_gaussian() {
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(4040);
+    for (mut model, label) in [
+        (
+            Box::new(paper::build_s(0.9, 2)) as Box<dyn FrameProcess>,
+            "DAR(2)",
+        ),
+        (Box::new(paper::build_v(1.0)), "V^1"),
+    ] {
+        let sample: Vec<f64> = (0..4_000)
+            .map(|_| {
+                model.reset(&mut rng);
+                model.next_frame(&mut rng)
+            })
+            .collect();
+        let r = ks_test(&sample, |x| {
+            vbr_stats::normal_cdf((x - 500.0) / 5000.0_f64.sqrt())
+        });
+        // The composite models are *approximately* Gaussian (M = 15 CLT);
+        // demand no gross violation rather than exact normality.
+        assert!(
+            r.statistic < 0.05,
+            "{label}: KS statistic {} too large",
+            r.statistic
+        );
+    }
+}
+
+/// End-to-end ATM path: a video frame -> AAL5 PDU -> cells -> corrupt one
+/// header bit -> HEC-correct -> reassemble; then police the cell stream.
+#[test]
+fn video_frame_over_aal5_with_hec_and_gcra() {
+    let header = CellHeader {
+        gfc: 0,
+        vpi: 9,
+        vci: 900,
+        pt: PayloadType::User0,
+        clp: false,
+    };
+    // A "video frame" of 23,992 bytes -> exactly 500 cells.
+    let frame_bytes: Vec<u8> = (0..23_992).map(|i| (i % 256) as u8).collect();
+    let cells = atm::segment(&frame_bytes, header);
+    assert_eq!(cells.len(), 500);
+
+    // Serialize, corrupt one header bit in one cell, parse back.
+    let mut recovered = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let mut bytes = cell.to_bytes();
+        if i == 250 {
+            bytes[1] ^= 0x04;
+        }
+        recovered.push(atm::Cell::from_bytes(&bytes).expect("HEC corrects single-bit"));
+    }
+    let pdu = atm::reassemble(&recovered).expect("reassembly");
+    assert_eq!(pdu, frame_bytes);
+
+    // The smoothed 500-cell frame conforms to a PCR policer at the frame
+    // rate with one-cell CDVT.
+    let mut gcra = atm::Gcra::peak_rate(500.0 / paper::TS, 1e-6);
+    for j in 0..500 {
+        let t = j as f64 * paper::TS / 500.0;
+        assert_eq!(gcra.police(t), atm::GcraOutcome::Conforming, "cell {j}");
+    }
+}
+
+/// CLP priority: tag an LRD source's excess as CLP=1 via an SCR policer,
+/// feed both classes to the threshold queue — high-priority loss must be far
+/// below the aggregate FIFO loss.
+#[test]
+fn clp_threshold_protects_conforming_traffic() {
+    let z = paper::build_z(0.99);
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(555);
+    let capacity = 30.0 * 538.0;
+    let buffer = 600.0;
+    let mut pq = PriorityQueue::new(capacity, buffer, 120.0);
+    let mut fifo = vbr_sim::FluidQueue::finite(capacity, buffer);
+
+    // 30 aggregated sources; per frame, the first `mean` cells are "in
+    // contract" (CLP 0), the excess is tagged CLP 1 — a crude but standard
+    // UPC model at frame granularity.
+    let contract = 30.0 * 510.0;
+    let mut sources: Vec<Box<dyn FrameProcess>> =
+        (0..30).map(|_| z.boxed_clone()).collect();
+    for s in sources.iter_mut() {
+        s.reset(&mut rng);
+    }
+    for _ in 0..30_000 {
+        let agg: f64 = sources.iter_mut().map(|s| s.next_frame(&mut rng)).sum();
+        let high = agg.min(contract);
+        let low = agg - high;
+        pq.offer(high, low);
+        fifo.offer(agg);
+    }
+
+    let high_clr = pq.high_account().clr();
+    let fifo_clr = fifo.account().clr();
+    if fifo_clr > 0.0 {
+        assert!(
+            high_clr < fifo_clr,
+            "CLP-0 CLR {high_clr:e} must beat FIFO aggregate {fifo_clr:e}"
+        );
+    }
+    // Tagged traffic bears the brunt.
+    assert!(pq.low_account().clr() >= high_clr);
+}
+
+/// Dimensioning inverses compose with the model zoo: the buffer the inverse
+/// reports for Z^0.975 meets the target according to the forward model.
+#[test]
+fn dimensioning_consistency_on_paper_models() {
+    let z = paper::build_z(0.975);
+    let stats = SourceStats::from_process(&z, 32_768);
+    let target = 1e-6;
+    let b = required_buffer(&stats, 538.0, 30, target).expect("feasible");
+    assert!(bahadur_rao_bop(&stats, 538.0, b, 30) <= target * 1.001);
+    let delay = buffer_delay_ms_local(b, 538.0);
+    assert!(
+        delay < 200.0,
+        "Z^0.975 buffer requirement {delay} ms should be finite and sane"
+    );
+
+    let c = required_bandwidth(&stats, 50.0, 30, target).expect("feasible");
+    assert!(c > 500.0 && c < 800.0, "effective bandwidth {c}");
+}
+
+fn buffer_delay_ms_local(b: f64, c: f64) -> f64 {
+    b / c * paper::TS * 1e3
+}

@@ -1,0 +1,93 @@
+//! Validation of the fluid abstraction: the frame-level fluid queue and the
+//! slotted cell-level multiplexer must agree on CLR at the paper's operating
+//! points (DESIGN.md ablation "fluid frame-level vs cell-slot-level queue").
+
+use lrd_video::prelude::*;
+use vbr_sim::{CellMultiplexer, FluidQueue};
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+/// Runs the same arrivals through both queue models, pooling several
+/// independent replications (LRD losses cluster in rare excursions, so a
+/// single path is an unusable estimator — the same reason the paper runs 60
+/// replications).
+fn run_both(a: f64, buffer_cells: f64, frames: usize, reps: u64, seed: u64) -> (f64, f64) {
+    let n = 30usize;
+    let capacity = n as f64 * 538.0;
+    let proto = paper::build_z(a);
+    let root = Xoshiro256PlusPlus::from_seed_u64(seed);
+
+    let mut fluid_acct = vbr_sim::LossAccount::default();
+    let mut cell_lost = 0u64;
+    let mut cell_offered = 0u64;
+    for rep in 0..reps {
+        let mut rng = root.split(rep);
+        let mut sources: Vec<Box<dyn FrameProcess>> =
+            (0..n).map(|_| proto.boxed_clone()).collect();
+        for s in sources.iter_mut() {
+            s.reset(&mut rng);
+        }
+        let mut fluid = FluidQueue::finite(capacity, buffer_cells);
+        let mut cell = CellMultiplexer::new(capacity as usize, buffer_cells as usize);
+        let mut row = vec![0.0; n];
+        for _ in 0..frames {
+            for (i, s) in sources.iter_mut().enumerate() {
+                row[i] = s.next_frame(&mut rng);
+            }
+            let agg: f64 = row.iter().sum();
+            fluid.offer(agg);
+            cell.offer_frame(&row);
+        }
+        fluid_acct.merge(&fluid.account());
+        cell_lost += cell.lost();
+        cell_offered += cell.offered();
+    }
+    (
+        fluid_acct.clr(),
+        cell_lost as f64 / cell_offered.max(1) as f64,
+    )
+}
+
+#[test]
+fn clr_agreement_at_moderate_buffer() {
+    // Buffer = 2 ms at the paper's link: 807 cells.
+    let (fluid, cell) = run_both(0.99, 807.0, 25_000, 6, 11);
+    assert!(fluid > 0.0 && cell > 0.0, "need loss: fluid {fluid:e} cell {cell:e}");
+    let ratio = fluid / cell;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "fluid {fluid:e} vs cell-level {cell:e} CLR (ratio {ratio})"
+    );
+}
+
+#[test]
+fn clr_agreement_at_small_buffer() {
+    // 0.5 ms buffer: cell-scale effects are strongest here; deterministic
+    // smoothing keeps the two models within a factor ~2.
+    let (fluid, cell) = run_both(0.99, 202.0, 15_000, 6, 12);
+    assert!(fluid > 0.0 && cell > 0.0);
+    let ratio = fluid / cell;
+    assert!(
+        (0.3..=2.5).contains(&ratio),
+        "fluid {fluid:e} vs cell-level {cell:e} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn cell_level_never_loses_when_fluid_headroom_is_large() {
+    // Far under capacity, neither model loses a single cell.
+    let n = 30usize;
+    let capacity = n as f64 * 700.0; // huge headroom
+    let proto = paper::build_z(0.9);
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(13);
+    let mut sources: Vec<Box<dyn FrameProcess>> =
+        (0..n).map(|_| proto.boxed_clone()).collect();
+    let mut cell = CellMultiplexer::new(capacity as usize, 2_000);
+    let mut row = vec![0.0; n];
+    for _ in 0..8_000 {
+        for (i, s) in sources.iter_mut().enumerate() {
+            row[i] = s.next_frame(&mut rng);
+        }
+        cell.offer_frame(&row);
+    }
+    assert_eq!(cell.lost(), 0, "no loss expected under 72% utilization");
+}

@@ -1,0 +1,195 @@
+//! End-to-end integration tests: the paper's headline claims exercised
+//! through the full stack (model construction -> analysis -> simulation).
+
+use lrd_video::prelude::*;
+use vbr_core::experiments::{self, SimScale};
+
+/// The paper's §5.5 anchor: "all the CLR curves begin around the same value
+/// at zero buffer (slightly larger than 1e-5)", because every model shares
+/// the Gaussian(500, 5000) marginal. Checked for an LRD model and its SRD
+/// fit through the actual simulator.
+#[test]
+fn zero_buffer_clr_anchor_across_model_families() {
+    let expected = {
+        // Fluid zero-buffer CLR = E[(X - C)+]/E[X] for the aggregate.
+        let mean = 30.0 * 500.0;
+        let sd = (30.0 * 5000.0_f64).sqrt();
+        vbr_stats::dist::gaussian_overshoot_mean(mean, sd, 30.0 * 538.0) / mean
+    };
+    assert!(expected > 1e-5 && expected < 1.3e-5, "anchor {expected:e}");
+
+    let models: Vec<Box<dyn FrameProcess>> = vec![
+        Box::new(paper::build_s(0.975, 1)),
+        Box::new(paper::build_z(0.975)),
+    ];
+    for m in models {
+        let cfg = SimConfig::paper_defaults(vec![0.0], 40_000, 4);
+        let clr = simulate_clr(m.as_ref(), &cfg).per_buffer[0].pooled.clr();
+        assert!(
+            clr > expected / 3.0 && clr < expected * 3.0,
+            "{}: zero-buffer CLR {clr:e} vs analytic {expected:e}",
+            m.label()
+        );
+    }
+}
+
+/// Claim 1 destroyed (paper §5.3/5.4): models differing only in long-term
+/// correlations (V^v) have nearly identical simulated CLR; models differing
+/// only in short-term correlations (Z^a) differ widely.
+#[test]
+fn short_term_correlations_dominate_simulated_clr() {
+    let grid = [1.0];
+    let scale = SimScale {
+        frames: 15_000,
+        replications: 4,
+    };
+    let v_clrs: Vec<f64> = [0.67, 1.0, 1.5]
+        .iter()
+        .map(|&v| {
+            let m = paper::build_v(v);
+            experiments::sim_clr_series(&m, &grid, scale).points[0].1
+        })
+        .collect();
+    let z_clrs: Vec<f64> = [0.7, 0.99]
+        .iter()
+        .map(|&a| {
+            let m = paper::build_z(a);
+            experiments::sim_clr_series(&m, &grid, scale).points[0].1
+        })
+        .collect();
+
+    let v_ratio = v_clrs.iter().cloned().fold(f64::MIN, f64::max)
+        / v_clrs.iter().cloned().fold(f64::MAX, f64::min).max(1e-12);
+    let z_ratio = z_clrs[1] / z_clrs[0].max(1e-12);
+    assert!(
+        v_ratio < 5.0,
+        "V^v CLRs should cluster: {v_clrs:?} (ratio {v_ratio})"
+    );
+    assert!(
+        z_ratio > 10.0,
+        "Z^a CLRs should fan out: {z_clrs:?} (ratio {z_ratio})"
+    );
+    assert!(
+        z_ratio > 3.0 * v_ratio,
+        "short-term knob must dwarf long-term knob: {z_ratio} vs {v_ratio}"
+    );
+}
+
+/// Claim 2 destroyed (paper §5.4/5.5): the DAR(p) fit — which has no long
+/// memory at all — predicts the LRD source's simulated CLR within the gaps
+/// the paper reports, and improves with p.
+#[test]
+fn dar_fits_track_lrd_source_clr() {
+    let grid = [1.0];
+    let scale = SimScale {
+        frames: 20_000,
+        replications: 4,
+    };
+    let z = paper::build_z(0.7);
+    let z_clr = experiments::sim_clr_series(&z, &grid, scale).points[0].1;
+    assert!(z_clr > 0.0, "need measurable loss at 2 ms");
+
+    let mut errors = Vec::new();
+    for p in [1usize, 3] {
+        let s = paper::build_s(0.7, p);
+        let s_clr = experiments::sim_clr_series(&s, &grid, scale).points[0].1;
+        assert!(s_clr > 0.0, "DAR({p}) must lose too");
+        errors.push((z_clr.ln() - s_clr.ln()).abs());
+    }
+    // Fig 9(b): for Z^0.7 the curves sit within about one order of magnitude.
+    assert!(
+        errors[0] < std::f64::consts::LN_10 * 1.5,
+        "DAR(1) log-error {} should be within ~1 order",
+        errors[0]
+    );
+    assert!(
+        errors[1] <= errors[0] + 0.3,
+        "DAR(3) {} should not be worse than DAR(1) {}",
+        errors[1],
+        errors[0]
+    );
+}
+
+/// CTS headline numbers quoted in the paper's §5.3: at B = 2 msec the Z^a
+/// family's CTS values differ by "as many as 15" while the V^v family's
+/// nearly coincide (c = 526, N = 100 setting of Fig 4).
+#[test]
+fn fig4_quoted_cts_spread() {
+    let series = vbr_core::experiments::fig4(&[2.0]);
+    let v_cts: Vec<f64> = series[..3].iter().map(|s| s.points[0].1).collect();
+    let z_cts: Vec<f64> = series[3..].iter().map(|s| s.points[0].1).collect();
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    assert!(spread(&v_cts) <= 2.0, "V spread {v_cts:?}");
+    // The paper quotes "as many as 15" at B = 2 msec; the exact integer
+    // depends on rounding conventions — we measure 12-13 (see
+    // EXPERIMENTS.md), which preserves the order-of-magnitude contrast
+    // against the V-family spread of <= 2.
+    assert!(
+        spread(&z_cts) >= 11.0,
+        "Z^a CTS spread at 2 ms should be >= ~12, got {z_cts:?}"
+    );
+}
+
+/// Fig 10 shape: B-R and large-N asymptotics both upper-bound the simulated
+/// finite-buffer CLR, B-R tighter, all three decaying in buffer.
+#[test]
+fn asymptotics_bound_simulation_fig10_shape() {
+    let grid = [1.0, 3.0, 6.0];
+    let series = vbr_core::experiments::fig10(
+        &grid,
+        SimScale {
+            frames: 20_000,
+            replications: 4,
+        },
+    );
+    let br = &series[0];
+    let large_n = &series[1];
+    let sim = &series[2];
+    for i in 0..grid.len() {
+        let (b, l, s) = (br.points[i].1, large_n.points[i].1, sim.points[i].1);
+        assert!(b < l, "B-R {b:e} must be tighter than large-N {l:e}");
+        if s > 0.0 {
+            assert!(
+                b > s / 3.0,
+                "asymptotic {b:e} should not undershoot simulation {s:e} at {} ms",
+                grid[i]
+            );
+        }
+    }
+    for w in sim.points.windows(2) {
+        assert!(w[1].1 <= w[0].1 * 1.5, "simulated CLR should fall with buffer");
+    }
+}
+
+/// The full model zoo builds, shares the marginal, and every member's
+/// analytic ACF is a valid correlation sequence deep into the tail.
+#[test]
+fn model_zoo_acf_validity() {
+    let set = ModelSet::build();
+    let mut all: Vec<&dyn FrameProcess> = Vec::new();
+    for m in &set.v_models {
+        all.push(m);
+    }
+    for m in &set.z_models {
+        all.push(m);
+    }
+    for m in set.s_for_z07.iter().chain(&set.s_for_z0975) {
+        all.push(m);
+    }
+    all.push(&set.l_model);
+    for m in all {
+        let acf = m.autocorrelations(10_000);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        for (k, &r) in acf.iter().enumerate() {
+            assert!(
+                (-1.0..=1.0 + 1e-12).contains(&r),
+                "{} r({k}) = {r}",
+                m.label()
+            );
+        }
+        // All paper models are positively correlated and decaying overall.
+        assert!(acf[1] > acf[100] && acf[100] >= 0.0, "{}", m.label());
+    }
+}

@@ -1,0 +1,398 @@
+//! Property-based tests (proptest) on the core invariants across crates.
+
+use proptest::prelude::*;
+use vbr_asymptotics::{critical_time_scale, SourceStats, VarianceFunction};
+use vbr_atm::cell::{hec, verify_and_correct, Cell, CellHeader, HecStatus, PayloadType, PAYLOAD_SIZE};
+use vbr_atm::{Gcra, GcraOutcome, Spacer};
+use vbr_models::{DarParams, DarProcess, FrameProcess, Marginal};
+use vbr_sim::FluidQueue;
+use vbr_stats::linalg::{levinson_durbin, solve_dense, solve_toeplitz};
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fluid queue invariants under arbitrary arrival sequences:
+    /// workload stays in [0, B], loss only when work would exceed B, and
+    /// mass balance (offered = served + lost + queued) holds exactly.
+    #[test]
+    fn fluid_queue_invariants(
+        capacity in 1.0f64..1000.0,
+        buffer in 0.0f64..5000.0,
+        arrivals in proptest::collection::vec(0.0f64..3000.0, 1..200),
+    ) {
+        let mut q = FluidQueue::finite(capacity, buffer);
+        let mut served = 0.0;
+        let mut w_prev = 0.0;
+        for &x in &arrivals {
+            let lost = q.offer(x);
+            let w = q.workload();
+            prop_assert!((0.0..=buffer + 1e-9).contains(&w), "workload {w} out of [0,{buffer}]");
+            prop_assert!(lost >= 0.0);
+            if lost > 0.0 {
+                prop_assert!((w - buffer).abs() < 1e-9, "loss only at full buffer");
+            }
+            served += x - (w - w_prev) - lost;
+            w_prev = w;
+        }
+        let total: f64 = arrivals.iter().sum();
+        let acct = q.account();
+        prop_assert!((acct.offered - total).abs() < 1e-6 * total.max(1.0));
+        prop_assert!((served + acct.lost + q.workload() - total).abs() < 1e-6 * total.max(1.0));
+        prop_assert!(served <= capacity * arrivals.len() as f64 + 1e-9);
+    }
+
+    /// Monotonicity: a bigger buffer never loses more on the same arrivals.
+    #[test]
+    fn fluid_queue_loss_monotone_in_buffer(
+        capacity in 10.0f64..500.0,
+        b1 in 0.0f64..1000.0,
+        extra in 0.0f64..1000.0,
+        arrivals in proptest::collection::vec(0.0f64..2000.0, 1..150),
+    ) {
+        let mut small = FluidQueue::finite(capacity, b1);
+        let mut large = FluidQueue::finite(capacity, b1 + extra);
+        for &x in &arrivals {
+            small.offer(x);
+            large.offer(x);
+        }
+        prop_assert!(large.account().lost <= small.account().lost + 1e-9);
+    }
+
+    /// DAR(p) ACFs are valid correlation sequences: r(0)=1, |r(k)|<=1, and
+    /// the implied Toeplitz matrix is positive semi-definite (checked via
+    /// Levinson-Durbin not rejecting).
+    #[test]
+    fn dar_acf_is_valid_correlation(
+        rho in 0.0f64..0.995,
+        w1 in 0.01f64..1.0,
+        w2 in 0.0f64..1.0,
+        w3 in 0.0f64..1.0,
+    ) {
+        let total = w1 + w2 + w3;
+        let probs = vec![w1 / total, w2 / total, w3 / total];
+        let acf = DarProcess::acf_from_params(rho, &probs, 64);
+        prop_assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &r in &acf {
+            prop_assert!((-1.0..=1.0 + 1e-12).contains(&r));
+        }
+        prop_assert!(levinson_durbin(&acf[..16]).is_some(), "ACF must be PSD");
+    }
+
+    /// Yule-Walker roundtrip: fit_dar recovers DAR parameters from their own
+    /// ACF whenever all weights are bounded away from 0.
+    #[test]
+    fn dar_fit_roundtrip(
+        rho in 0.05f64..0.95,
+        w1 in 0.1f64..1.0,
+        w2 in 0.1f64..1.0,
+    ) {
+        let total = w1 + w2;
+        let probs = vec![w1 / total, w2 / total];
+        let acf = DarProcess::acf_from_params(rho, &probs, 8);
+        let fit = vbr_core::matching::fit_dar(&acf, 2, Marginal::paper_gaussian()).unwrap();
+        prop_assert!((fit.rho - rho).abs() < 1e-7, "{} vs {rho}", fit.rho);
+        prop_assert!((fit.lag_probs[0] - probs[0]).abs() < 1e-7);
+    }
+
+    /// Toeplitz solver agrees with dense Gaussian elimination on random
+    /// diagonally-dominant symmetric Toeplitz systems.
+    #[test]
+    fn toeplitz_matches_dense(
+        coeffs in proptest::collection::vec(-0.2f64..0.2, 2..7),
+        rhs_seed in proptest::collection::vec(-10.0f64..10.0, 7),
+    ) {
+        let n = coeffs.len() + 1;
+        let mut col = vec![1.0];
+        col.extend(&coeffs);
+        let rhs = rhs_seed[..n].to_vec();
+        let mut dense = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dense[i * n + j] = col[(i as isize - j as isize).unsigned_abs()];
+            }
+        }
+        let xt = solve_toeplitz(&col, &rhs);
+        let xd = solve_dense(&dense, &rhs, n);
+        prop_assert!(xt.is_some() && xd.is_some());
+        for (a, b) in xt.unwrap().iter().zip(xd.unwrap()) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// V(m) is positive, increasing, and sub-quadratic for any valid DAR ACF.
+    #[test]
+    fn variance_function_shape(rho in 0.0f64..0.99) {
+        let acf: Vec<f64> = (0..256).map(|k| rho.powi(k)).collect();
+        let stats = SourceStats::new(500.0, 5000.0, acf);
+        let v = VarianceFunction::new(&stats);
+        let mut prev = 0.0;
+        for m in 1..=256usize {
+            let val = v.v(m);
+            prop_assert!(val > prev, "V must increase");
+            prop_assert!(val <= 5000.0 * (m * m) as f64 + 1e-6, "V <= sigma^2 m^2");
+            prev = val;
+        }
+    }
+
+    /// CTS is non-decreasing in buffer for arbitrary DAR-style ACFs, and the
+    /// rate function is non-decreasing too.
+    #[test]
+    fn cts_monotone_random_acf(
+        rho in 0.0f64..0.99,
+        c_gap in 5.0f64..100.0,
+        steps in 2usize..8,
+    ) {
+        let acf: Vec<f64> = (0..2048).map(|k| rho.powi(k)).collect();
+        let stats = SourceStats::new(500.0, 5000.0, acf);
+        let c = 500.0 + c_gap;
+        let mut prev_m = 0usize;
+        let mut prev_rate = 0.0;
+        for i in 0..steps {
+            let b = i as f64 * 40.0;
+            let r = critical_time_scale(&stats, c, b);
+            prop_assert!(r.m_star >= prev_m, "CTS must not decrease");
+            prop_assert!(r.rate >= prev_rate - 1e-12, "I(c,b) must not decrease");
+            prev_m = r.m_star;
+            prev_rate = r.rate;
+        }
+    }
+
+    /// HEC: encode -> corrupt one random header bit -> decode must correct it
+    /// back to the original header for every field combination.
+    #[test]
+    fn hec_corrects_any_single_bit(
+        gfc in 0u8..16,
+        vpi in 0u16..256,
+        vci: u16,
+        pt_bits in 0u8..8,
+        clp: bool,
+        byte in 0usize..5,
+        bit in 0u8..8,
+    ) {
+        let header = CellHeader {
+            gfc,
+            vpi,
+            vci,
+            pt: PayloadType::from_bits(pt_bits),
+            clp,
+        };
+        let four = header.encode_uni();
+        let mut five = [four[0], four[1], four[2], four[3], hec(&four)];
+        let original = five;
+        five[byte] ^= 1 << bit;
+        let status = verify_and_correct(&mut five);
+        prop_assert_eq!(status, HecStatus::Corrected { byte, mask: 1 << bit });
+        prop_assert_eq!(five, original);
+    }
+
+    /// Cell serialization roundtrip for arbitrary payloads.
+    #[test]
+    fn cell_roundtrip(payload in proptest::collection::vec(any::<u8>(), PAYLOAD_SIZE)) {
+        let header = CellHeader {
+            gfc: 1,
+            vpi: 7,
+            vci: 77,
+            pt: PayloadType::User0,
+            clp: false,
+        };
+        let mut buf = [0u8; PAYLOAD_SIZE];
+        buf.copy_from_slice(&payload);
+        let cell = Cell::new(header, buf);
+        let parsed = Cell::from_bytes(&cell.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, cell);
+    }
+
+    /// Spacer/GCRA duality: any arrival sequence shaped at gap T conforms to
+    /// GCRA(T, ~0) — and the spacer preserves order and causality.
+    #[test]
+    fn shaped_stream_conforms(
+        gaps in proptest::collection::vec(0.0f64..0.5, 1..100),
+        t in 0.01f64..0.3,
+    ) {
+        let mut arrivals = Vec::with_capacity(gaps.len());
+        let mut now = 0.0;
+        for g in gaps {
+            now += g;
+            arrivals.push(now);
+        }
+        let mut spacer = Spacer::new(t);
+        let mut police = Gcra::new(t, 1e-9);
+        let mut last = f64::NEG_INFINITY;
+        for &a in &arrivals {
+            let d = spacer.depart(a);
+            prop_assert!(d >= a, "causality");
+            prop_assert!(d >= last, "order");
+            prop_assert_eq!(police.police(d), GcraOutcome::Conforming);
+            last = d;
+        }
+    }
+
+    /// DAR marginal invariance: the sample mean of any DAR(1) stays near the
+    /// marginal mean regardless of rho (rho only slows mixing).
+    #[test]
+    fn dar_marginal_invariant_under_rho(rho in 0.0f64..0.95, seed: u64) {
+        let mut p = DarProcess::new(DarParams::dar1(
+            rho,
+            Marginal::Gaussian { mean: 100.0, sd: 10.0 },
+        ));
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.next_frame(&mut rng)).sum::<f64>() / n as f64;
+        // Effective sample size shrinks by (1+rho)/(1-rho); bound at 5 sigma.
+        let ess = n as f64 * (1.0 - rho) / (1.0 + rho);
+        let tol = 5.0 * 10.0 / ess.sqrt();
+        prop_assert!((mean - 100.0).abs() < tol, "mean {mean} (tol {tol})");
+    }
+}
+
+// --- extension-module properties -----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// AAL5 roundtrip for arbitrary payload lengths (covers every padding
+    /// residue class around the 48-byte boundary).
+    #[test]
+    fn aal5_roundtrip_any_length(len in 0usize..4096, seed: u64) {
+        use vbr_atm::aal5::{reassemble, segment, cells_for_payload};
+        use vbr_atm::cell::{CellHeader, PayloadType};
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        use rand::RngCore as _;
+        let mut payload = vec![0u8; len];
+        rng.fill_bytes(&mut payload);
+        let header = CellHeader {
+            gfc: 0,
+            vpi: 5,
+            vci: 55,
+            pt: PayloadType::User0,
+            clp: false,
+        };
+        let cells = segment(&payload, header);
+        prop_assert_eq!(cells.len(), cells_for_payload(len));
+        let back = reassemble(&cells).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back, payload);
+    }
+
+    /// Priority queue conservation and priority-ordering invariants under
+    /// arbitrary two-class arrivals.
+    #[test]
+    fn priority_queue_invariants(
+        capacity in 10.0f64..500.0,
+        buffer in 0.0f64..800.0,
+        thresh_frac in 0.0f64..1.0,
+        arrivals in proptest::collection::vec((0.0f64..900.0, 0.0f64..900.0), 1..120),
+    ) {
+        use vbr_sim::PriorityQueue;
+        let threshold = buffer * thresh_frac;
+        let mut q = PriorityQueue::new(capacity, buffer, threshold);
+        for &(h, l) in &arrivals {
+            let (hl, ll) = q.offer(h, l);
+            prop_assert!(hl >= 0.0 && ll >= 0.0);
+            prop_assert!(hl <= h + 1e-9 && ll <= l + 1e-9);
+            prop_assert!((0.0..=buffer + 1e-9).contains(&q.workload()));
+        }
+        let high = q.high_account();
+        let low = q.low_account();
+        let offered: f64 = arrivals.iter().map(|&(h, l)| h + l).sum();
+        prop_assert!((high.offered + low.offered - offered).abs() < 1e-6 * offered.max(1.0));
+        // Mass balance: everything offered is lost, queued, or served; and
+        // served work cannot exceed capacity x frames.
+        let served = offered - high.lost - low.lost - q.workload();
+        prop_assert!(served >= -1e-9);
+        prop_assert!(served <= capacity * arrivals.len() as f64 + 1e-9);
+    }
+
+    /// The high-priority class never does worse under partial buffer
+    /// sharing than the same class in a FIFO sharing the buffer with the
+    /// low class.
+    #[test]
+    fn priority_protects_high_class_vs_fifo(
+        arrivals in proptest::collection::vec((0.0f64..400.0, 0.0f64..400.0), 5..80),
+    ) {
+        use vbr_sim::{FluidQueue, PriorityQueue};
+        let capacity = 200.0;
+        let buffer = 150.0;
+        let mut pq = PriorityQueue::new(capacity, buffer, 30.0);
+        let mut fifo = FluidQueue::finite(capacity, buffer);
+        let mut fifo_high_lost = 0.0;
+        for &(h, l) in &arrivals {
+            pq.offer(h, l);
+            // In FIFO, high and low share fate proportionally.
+            let lost = fifo.offer(h + l);
+            if h + l > 0.0 {
+                fifo_high_lost += lost * h / (h + l);
+            }
+        }
+        prop_assert!(
+            pq.high_account().lost <= fifo_high_lost + 1e-6,
+            "priority high loss {} vs FIFO-share {}",
+            pq.high_account().lost,
+            fifo_high_lost
+        );
+    }
+
+    /// F-ARIMA ACF is a valid, positive, decreasing correlation sequence
+    /// for every d, and Levinson accepts it (PSD check).
+    #[test]
+    fn farima_acf_validity(d in 0.01f64..0.49) {
+        let acf = vbr_models::farima_acf(d, 128);
+        prop_assert!((acf[0] - 1.0).abs() < 1e-12);
+        for w in acf.windows(2) {
+            prop_assert!(w[1] > 0.0 && w[1] < w[0]);
+        }
+        prop_assert!(levinson_durbin(&acf[..32]).is_some());
+    }
+
+    /// MarkovOnOff target solver: mean/variance round-trip over a wide
+    /// parameter box, and the ACF is geometric.
+    #[test]
+    fn markov_onoff_solver_roundtrip(
+        mean in 50.0f64..1000.0,
+        over in 1.2f64..12.0,
+        m in 2usize..40,
+    ) {
+        use vbr_models::{MarkovOnOff, MarkovOnOffParams};
+        let variance = mean * over;
+        // Feasibility envelope: Var <= mean + mean^2/M (the frozen-state
+        // nu -> 0 limit); stay safely inside it.
+        prop_assume!(variance < mean + mean * mean / m as f64 * 0.9);
+        let params = MarkovOnOffParams::from_frame_targets(mean, variance, m, 0.04);
+        prop_assert!((params.frame_mean() - mean).abs() < 1e-6 * mean);
+        prop_assert!((params.frame_variance() - variance).abs() < 1e-3 * variance);
+        let model = MarkovOnOff::new(params);
+        let r = model.autocorrelations(10);
+        let q1 = r[2] / r[1];
+        for k in 2..10 {
+            // Fast switching can underflow the tail to 0; ratios are only
+            // meaningful while the ACF is numerically alive.
+            if r[k - 1] < 1e-100 {
+                break;
+            }
+            let q = r[k] / r[k - 1];
+            prop_assert!((q - q1).abs() < 1e-6 * q1.max(1e-6), "geometric ratio breaks at {k}");
+        }
+    }
+
+    /// Trace replay preserves the recorded multiset of frames over one full
+    /// cycle, and its reported mean matches the sample mean.
+    #[test]
+    fn trace_replay_preserves_frames(
+        frames in proptest::collection::vec(0.0f64..2000.0, 8..64),
+        seed: u64,
+    ) {
+        use vbr_sim::TraceProcess;
+        prop_assume!(frames.iter().any(|&x| (x - frames[0]).abs() > 1e-9));
+        let n = frames.len();
+        let trace = TraceProcess::new(frames.clone(), "t", 2);
+        let mut replay = trace.boxed_clone();
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        let mut got: Vec<f64> = (0..n).map(|_| replay.next_frame(&mut rng)).collect();
+        let mut want = frames.clone();
+        got.sort_by(|a, b| a.total_cmp(b));
+        want.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(got, want);
+        let sample_mean: f64 = frames.iter().sum::<f64>() / n as f64;
+        prop_assert!((trace.mean() - sample_mean).abs() < 1e-9);
+    }
+}
