@@ -96,7 +96,7 @@ pub fn max_admissible_sources(
     // monotone (admissible for all N below some threshold).
     let (mut lo, mut hi) = (1usize, n_max);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if admissible(mid) {
             lo = mid;
         } else {

@@ -22,11 +22,11 @@ fn main() {
 }
 
 /// 1. Initialization bias. The ON *probability* is ½ either way; what the
-/// naive start destroys is the low-frequency structure: started fresh, no
-/// process can be sitting inside one of the rare long sojourns, so the
-/// ensemble correlation between early frames collapses. Measured as the
-/// Pearson correlation of (frame-0 ON time, frame-20 ON time) across
-/// independent starts.
+///    naive start destroys is the low-frequency structure: started fresh, no
+///    process can be sitting inside one of the rare long sojourns, so the
+///    ensemble correlation between early frames collapses. Measured as the
+///    Pearson correlation of (frame-0 ON time, frame-20 ON time) across
+///    independent starts.
 fn init_bias() {
     println!("\n--- ablation 1: ON/OFF initialization ---");
     let sojourn = HeavyTailedSojourn::from_alpha(0.8, 0.002);
@@ -123,8 +123,8 @@ fn fluid_vs_cell() {
 }
 
 /// 3. Output analysis: batch means on one long LRD run vs the paper's
-/// independent replications — the batch-lag1 diagnostic shows why the
-/// paper replicates.
+///    independent replications — the batch-lag1 diagnostic shows why the
+///    paper replicates.
 fn replications_vs_batch_means() {
     println!("\n--- ablation 3: replications vs batch means (LRD output) ---");
     let mut z = paper::build_z(0.975);

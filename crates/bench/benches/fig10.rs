@@ -21,6 +21,12 @@ fn main() {
         ),
     );
     let grid = linear_buffer_grid(0.5, 6.0, 8);
-    let series = fig10(&grid, scale);
+    let series = match fig10(&grid, scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fig10 simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
     vbr_bench::emit("fig10", "probability vs buffer (msec)", "buffer_ms", &series);
 }

@@ -23,6 +23,12 @@ fn main() {
     } else {
         linear_buffer_grid(0.0001, 2.0, 7)
     };
-    let series = fig8(&grid, scale);
+    let series = match fig8(&grid, scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fig8 simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
     vbr_bench::emit("fig8", "simulated CLR vs buffer (msec)", "buffer_ms", &series);
 }

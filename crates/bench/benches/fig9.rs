@@ -17,7 +17,13 @@ fn main() {
         linear_buffer_grid(0.0001, 2.0, 7)
     };
     for (panel, a) in [("a", 0.975), ("b", 0.7)] {
-        let series = fig9(a, &grid, scale);
+        let series = match fig9(a, &grid, scale) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fig9 panel ({panel}) simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
         vbr_bench::emit(
             &format!("fig9{panel}"),
             &format!("panel ({panel}): Z^{a} vs DAR(p) vs L, simulation"),

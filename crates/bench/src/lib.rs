@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 use std::fs;
+use std::io;
 use std::io::Write;
 use std::path::PathBuf;
 use vbr_core::experiments::Series;
@@ -28,13 +29,35 @@ pub fn out_dir() -> PathBuf {
                 .unwrap_or_else(|| PathBuf::from("paper_output"))
         }
     };
-    fs::create_dir_all(&path).expect("create output dir");
     path
 }
 
+/// [`out_dir`], created on disk. Fails with the underlying I/O error rather
+/// than panicking (an unwritable output dir should cost the CSV, not the
+/// regenerated figure that took an hour of simulation).
+pub fn ensure_out_dir() -> io::Result<PathBuf> {
+    let path = out_dir();
+    fs::create_dir_all(&path)?;
+    Ok(path)
+}
+
 /// Prints a set of series sharing an x-grid as an aligned table and writes
-/// `<name>.csv` into [`out_dir`].
+/// `<name>.csv` into [`out_dir`]. A failed CSV write is reported on stderr
+/// but does not abort — the printed table is the primary artifact.
 pub fn emit(name: &str, title: &str, x_label: &str, series: &[Series]) {
+    match try_emit(name, title, x_label, series) {
+        Ok(path) => println!("[csv written to {}]", path.display()),
+        Err(e) => eprintln!("[csv for {name} not written: {e}]"),
+    }
+}
+
+/// [`emit`] with the I/O outcome propagated; returns the CSV path written.
+pub fn try_emit(
+    name: &str,
+    title: &str,
+    x_label: &str,
+    series: &[Series],
+) -> io::Result<PathBuf> {
     println!("\n=== {title} ===");
     print!("{x_label:>12}");
     for s in series {
@@ -57,28 +80,28 @@ pub fn emit(name: &str, title: &str, x_label: &str, series: &[Series]) {
         println!();
     }
 
-    let path = out_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    write!(f, "{x_label}").unwrap();
+    let path = ensure_out_dir()?.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    write!(f, "{x_label}")?;
     for s in series {
-        write!(f, ",{}", s.label.replace(',', ";")).unwrap();
+        write!(f, ",{}", s.label.replace(',', ";"))?;
     }
-    writeln!(f).unwrap();
+    writeln!(f)?;
     for i in 0..rows {
         let x = series
             .iter()
             .find_map(|s| s.points.get(i).map(|p| p.0))
             .unwrap_or(f64::NAN);
-        write!(f, "{x}").unwrap();
+        write!(f, "{x}")?;
         for s in series {
             match s.points.get(i) {
-                Some(&(_, y)) => write!(f, ",{y}").unwrap(),
-                None => write!(f, ",").unwrap(),
+                Some(&(_, y)) => write!(f, ",{y}")?,
+                None => write!(f, ",")?,
             }
         }
-        writeln!(f).unwrap();
+        writeln!(f)?;
     }
-    println!("[csv written to {}]", path.display());
+    Ok(path)
 }
 
 fn truncate(s: &str, n: usize) -> String {

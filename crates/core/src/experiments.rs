@@ -12,7 +12,7 @@ use vbr_asymptotics::bop::{bop_curve, buffer_from_delay_ms, Flavor};
 use vbr_asymptotics::cts::critical_time_scale_with;
 use vbr_asymptotics::{SourceStats, VarianceFunction};
 use vbr_models::FrameProcess;
-use vbr_sim::{simulate_clr, SimConfig};
+use vbr_sim::{simulate_clr, SimConfig, SimError};
 
 /// A labeled (x, y) series.
 #[derive(Debug, Clone, Serialize)]
@@ -347,7 +347,9 @@ pub fn fig6(a: f64, buffer_ms_grid: &[f64]) -> Vec<Series> {
         out.push(bop_series(&s, buffer_ms_grid, ACF_HORIZON, Flavor::BahadurRao));
     }
     out.push(bop_series(&l, buffer_ms_grid, ACF_HORIZON, Flavor::BahadurRao));
-    out.last_mut().expect("nonempty").label = "L".into();
+    if let Some(last) = out.last_mut() {
+        last.label = "L".into();
+    }
     out
 }
 
@@ -364,7 +366,9 @@ pub fn fig7(a: f64, buffer_ms_grid: &[f64]) -> Vec<Series> {
         out.push(bop_series(&s, buffer_ms_grid, horizon, Flavor::BahadurRao));
     }
     out.push(bop_series(&l, buffer_ms_grid, horizon, Flavor::BahadurRao));
-    out.last_mut().expect("nonempty").label = "L".into();
+    if let Some(last) = out.last_mut() {
+        last.label = "L".into();
+    }
     out
 }
 
@@ -403,21 +407,21 @@ pub fn sim_clr_series(
     m: &dyn FrameProcess,
     buffer_ms_grid: &[f64],
     scale: SimScale,
-) -> Series {
+) -> Result<Series, SimError> {
     let cfg = sim_config(buffer_ms_grid, scale, false);
-    let out = simulate_clr(m, &cfg);
-    Series {
+    let out = simulate_clr(m, &cfg)?;
+    Ok(Series {
         label: m.label(),
         points: out
             .per_buffer
             .iter()
             .map(|e| (e.buffer_ms, e.pooled.clr()))
             .collect(),
-    }
+    })
 }
 
 /// Fig 8: simulated finite-buffer CLR — (a) `V^v`, (b) `Z^a`.
-pub fn fig8(buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
+pub fn fig8(buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimError> {
     let set = ModelSet::build();
     set.v_models
         .iter()
@@ -428,23 +432,24 @@ pub fn fig8(buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
 }
 
 /// Fig 9: simulated CLR of `Z^a` vs DAR(p) fits vs `L`.
-pub fn fig9(a: f64, buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
+pub fn fig9(a: f64, buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimError> {
     let z = paper::build_z(a);
     let l = paper::build_l();
-    let mut out = vec![sim_clr_series(&z, buffer_ms_grid, scale)];
+    let mut out = vec![sim_clr_series(&z, buffer_ms_grid, scale)?];
     for p in 1..=3 {
         let s = paper::build_s(a, p);
-        out.push(sim_clr_series(&s, buffer_ms_grid, scale));
+        out.push(sim_clr_series(&s, buffer_ms_grid, scale)?);
     }
-    out.push(sim_clr_series(&l, buffer_ms_grid, scale));
-    out.last_mut().expect("nonempty").label = "L".into();
-    out
+    let mut l_series = sim_clr_series(&l, buffer_ms_grid, scale)?;
+    l_series.label = "L".into();
+    out.push(l_series);
+    Ok(out)
 }
 
 /// Fig 10: accuracy of the two large-buffer asymptotics against simulation
 /// for the DAR(1) fit of `Z^0.975`. Returns, in order: B–R, large-N,
 /// simulated CLR, simulated infinite-buffer BOP.
-pub fn fig10(buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
+pub fn fig10(buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimError> {
     let s = paper::build_s(0.975, 1);
     let mut out = vec![
         bop_series(&s, buffer_ms_grid, ACF_HORIZON, Flavor::BahadurRao),
@@ -454,7 +459,7 @@ pub fn fig10(buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
     out[1].label = "Large-N".into();
 
     let cfg = sim_config(buffer_ms_grid, scale, true);
-    let sim = simulate_clr(&s, &cfg);
+    let sim = simulate_clr(&s, &cfg)?;
     out.push(Series {
         label: "Simulated CLR".into(),
         points: sim
@@ -463,7 +468,7 @@ pub fn fig10(buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
             .map(|e| (e.buffer_ms, e.pooled.clr()))
             .collect(),
     });
-    let bop = sim.bop.expect("bop tracked");
+    let bop = sim.bop.unwrap_or_default();
     out.push(Series {
         label: "Simulated BOP (infinite buffer)".into(),
         points: buffer_ms_grid
@@ -472,7 +477,7 @@ pub fn fig10(buffer_ms_grid: &[f64], scale: SimScale) -> Vec<Series> {
             .map(|(&ms, &(_, p))| (ms, p))
             .collect(),
     });
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------

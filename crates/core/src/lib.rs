@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod experiments;
 pub mod matching;
@@ -64,7 +65,10 @@ pub mod prelude {
     };
     pub use vbr_models::{
         DarParams, DarProcess, Fbndp, FbndpParams, FrameProcess, GaussianAr1, IidProcess,
-        Marginal, Superposition,
+        Marginal, ModelError, Superposition,
     };
-    pub use vbr_sim::{simulate_clr, simulate_clr_mix, PriorityQueue, SimConfig, SimOutcome, SourceMix};
+    pub use vbr_sim::{
+        run, run_mix, simulate_clr, simulate_clr_mix, CheckpointPolicy, PriorityQueue, Provenance,
+        RunOptions, SimConfig, SimError, SimOutcome, SourceMix, Watchdog,
+    };
 }

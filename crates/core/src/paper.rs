@@ -226,13 +226,22 @@ pub fn build_l_with_alpha(alpha: f64) -> Fbndp {
 ///
 /// # Panics
 /// Panics if the fit fails — for the paper's `Z^a` family it never does for
-/// p ≤ 3 (verified in tests).
+/// p ≤ 3 (verified in tests). See [`try_build_s`] for a fallible variant.
 pub fn build_s(a: f64, p: usize) -> DarProcess {
+    match try_build_s(a, p) {
+        Ok(s) => s,
+        Err(e) => panic!("DAR({p}) fit to Z^{a} failed: {e}"),
+    }
+}
+
+/// Fallible [`build_s`]: surfaces a failed Yule–Walker fit (singular head
+/// system or out-of-range fitted parameters) as an error instead of
+/// panicking, for callers fitting to arbitrary `a`/`p` combinations.
+pub fn try_build_s(a: f64, p: usize) -> Result<DarProcess, String> {
     let z = build_z(a);
     let target = z.autocorrelations(p + 1);
-    let params = fit_dar(&target, p, Marginal::paper_gaussian())
-        .unwrap_or_else(|e| panic!("DAR({p}) fit to Z^{a} failed: {e}"));
-    DarProcess::new(params)
+    let params = fit_dar(&target, p, Marginal::paper_gaussian()).map_err(|e| e.to_string())?;
+    DarProcess::try_new(params).map_err(|e| e.to_string())
 }
 
 /// The paper's full model zoo, ready for the figure drivers.

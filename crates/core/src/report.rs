@@ -160,6 +160,37 @@ impl TrafficReport {
         }
         out
     }
+
+    /// Renders the CTS and dimensioning tables as CSV (one section per
+    /// table, `#`-prefixed section headers).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# traffic profile: {}", self.label);
+        let _ = writeln!(out, "# cts_table");
+        let _ = writeln!(out, "buffer_ms,cts_m_star,bahadur_rao_bop");
+        for &(ms, m, bop) in &self.cts_table {
+            let _ = writeln!(out, "{ms},{m},{bop:e}");
+        }
+        let _ = writeln!(out, "# dimensioning");
+        let _ = writeln!(out, "loss_target,required_buffer_ms,effective_bandwidth");
+        for &(t, buf, bw) in &self.dimensioning {
+            let fmt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+            let _ = writeln!(out, "{t:e},{},{}", fmt(buf), fmt(bw));
+        }
+        out
+    }
+
+    /// Writes the plain-text page to `path`, propagating I/O failure
+    /// instead of panicking (the report may be emitted at the tail of an
+    /// hours-long run; a full disk must not look like a crash).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// Writes the CSV tables to `path`.
+    pub fn save_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
 }
 
 #[cfg(test)]

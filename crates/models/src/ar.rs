@@ -5,6 +5,7 @@
 //! `X_n = μ + φ(X_{n−1} − μ) + √(1−φ²)·σ·ε_n`, `ε ~ N(0,1)`, started in the
 //! stationary distribution `N(μ, σ²)`; ACF is exactly `φᵏ`.
 
+use crate::error::ModelError;
 use crate::traits::FrameProcess;
 use rand::RngCore;
 use vbr_stats::dist::Normal;
@@ -24,18 +25,34 @@ impl GaussianAr1 {
     /// and lag-1 correlation `phi ∈ (−1, 1)`.
     ///
     /// # Panics
-    /// Panics on out-of-range parameters.
+    /// Panics on out-of-range parameters; see [`try_new`](Self::try_new).
     pub fn new(mean: f64, sd: f64, phi: f64) -> Self {
-        assert!(sd > 0.0 && sd.is_finite(), "invalid sd {sd}");
-        assert!(phi > -1.0 && phi < 1.0, "phi must be in (-1,1), got {phi}");
-        assert!(mean.is_finite(), "invalid mean {mean}");
-        Self {
+        match Self::try_new(mean, sd, phi) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validated constructor: requires finite `mean`, `sd > 0` and
+    /// `phi ∈ (−1, 1)`.
+    pub fn try_new(mean: f64, sd: f64, phi: f64) -> Result<Self, ModelError> {
+        let invalid = |message: String| ModelError::new("GaussianAr1", message);
+        if !(sd > 0.0 && sd.is_finite()) {
+            return Err(invalid(format!("invalid sd {sd}")));
+        }
+        if !(phi > -1.0 && phi < 1.0) {
+            return Err(invalid(format!("phi must be in (-1,1), got {phi}")));
+        }
+        if !mean.is_finite() {
+            return Err(invalid(format!("invalid mean {mean}")));
+        }
+        Ok(Self {
             mean,
             sd,
             phi,
             state: 0.0,
             initialized: false,
-        }
+        })
     }
 
     /// The lag-1 correlation φ.

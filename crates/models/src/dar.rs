@@ -12,6 +12,7 @@
 //!
 //! A DAR(1) therefore has `r(k) = ρᵏ` — pure geometric decay, Hurst ½.
 
+use crate::error::ModelError;
 use crate::marginal::Marginal;
 use crate::traits::FrameProcess;
 use rand::{Rng, RngCore};
@@ -45,22 +46,29 @@ impl DarParams {
         self.lag_probs.len()
     }
 
-    fn validate(&self) {
-        assert!(
-            (0.0..1.0).contains(&self.rho),
-            "rho must be in [0, 1), got {}",
-            self.rho
-        );
-        assert!(!self.lag_probs.is_empty(), "DAR(p) needs p >= 1");
-        let sum: f64 = self.lag_probs.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "lag probabilities must sum to 1, got {sum}"
-        );
-        for &a in &self.lag_probs {
-            assert!((0.0..=1.0).contains(&a), "invalid lag probability {a}");
+    /// Non-panicking parameter validation.
+    pub fn try_validate(&self) -> Result<(), ModelError> {
+        let invalid = |message: String| ModelError::new("DAR(p)", message);
+        if !(0.0..1.0).contains(&self.rho) {
+            return Err(invalid(format!("rho must be in [0, 1), got {}", self.rho)));
         }
-        self.marginal.validate();
+        if self.lag_probs.is_empty() {
+            return Err(invalid("DAR(p) needs p >= 1".into()));
+        }
+        let sum: f64 = self.lag_probs.iter().sum();
+        if (sum - 1.0).abs() >= 1e-9 {
+            return Err(invalid(format!(
+                "lag probabilities must sum to 1, got {sum}"
+            )));
+        }
+        if let Some(&a) = self
+            .lag_probs
+            .iter()
+            .find(|a| !(0.0..=1.0).contains(*a))
+        {
+            return Err(invalid(format!("invalid lag probability {a}")));
+        }
+        self.marginal.try_validate()
     }
 }
 
@@ -83,17 +91,25 @@ impl DarProcess {
     ///
     /// # Panics
     /// Panics on invalid parameters (ρ ∉ [0,1), probabilities not summing
-    /// to 1, invalid marginal).
+    /// to 1, invalid marginal); see [`try_new`](Self::try_new).
     pub fn new(params: DarParams) -> Self {
-        params.validate();
+        match Self::try_new(params) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validated constructor.
+    pub fn try_new(params: DarParams) -> Result<Self, ModelError> {
+        params.try_validate()?;
         let alias = AliasTable::new(&params.lag_probs);
         let p = params.order();
-        Self {
+        Ok(Self {
             params,
             alias,
             history: VecDeque::with_capacity(p),
             initialized: false,
-        }
+        })
     }
 
     /// The parameters this process was built with.

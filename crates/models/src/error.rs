@@ -1,0 +1,50 @@
+//! Typed parameter errors for the model zoo.
+//!
+//! Model constructors historically asserted on bad parameters. That is fine
+//! at an interactive prompt but not inside a long-running experiment driver,
+//! where one mistyped ρ must surface as a recoverable error, not a panic
+//! that takes every other queued experiment with it. Each validated
+//! constructor has a `try_*` variant returning [`ModelError`]; the
+//! panicking `new` forms remain as thin wrappers for tests and quick
+//! scripts.
+
+use std::fmt;
+
+/// A model was given parameters outside its admissible range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// Which model rejected its parameters (e.g. `"DAR(p)"`).
+    pub model: &'static str,
+    /// What is wrong with them.
+    pub message: String,
+}
+
+impl ModelError {
+    /// Builds an error for `model` with the given explanation.
+    pub fn new(model: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            model,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.model, self.message)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_model() {
+        let e = ModelError::new("DAR(p)", "rho out of range");
+        assert_eq!(e.to_string(), "DAR(p): rho out of range");
+        let _: &dyn std::error::Error = &e;
+    }
+}

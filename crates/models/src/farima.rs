@@ -16,6 +16,7 @@
 //! the circulant-embedding machinery (exact Gaussian blocks, any PSD ACF),
 //! so paths are exact in distribution within a block.
 
+use crate::error::ModelError;
 use crate::fgn::CirculantGenerator;
 use crate::traits::FrameProcess;
 use rand::RngCore;
@@ -53,12 +54,29 @@ impl FarimaProcess {
     /// `d = H − ½ ∈ (0, ½)`, and power-of-two generation block length.
     ///
     /// # Panics
-    /// Panics on out-of-range parameters.
+    /// Panics on out-of-range parameters; see [`try_new`](Self::try_new).
     pub fn new(mean: f64, sd: f64, d: f64, block_len: usize) -> Self {
-        assert!(sd > 0.0 && sd.is_finite(), "invalid sd {sd}");
-        assert!(mean.is_finite(), "invalid mean {mean}");
+        match Self::try_new(mean, sd, d, block_len) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validated constructor: requires finite `mean`, `sd > 0` and
+    /// `d ∈ (0, ½)`.
+    pub fn try_new(mean: f64, sd: f64, d: f64, block_len: usize) -> Result<Self, ModelError> {
+        let invalid = |message: String| ModelError::new("F-ARIMA(0,d,0)", message);
+        if !(sd > 0.0 && sd.is_finite()) {
+            return Err(invalid(format!("invalid sd {sd}")));
+        }
+        if !mean.is_finite() {
+            return Err(invalid(format!("invalid mean {mean}")));
+        }
+        if !(d > 0.0 && d < 0.5) {
+            return Err(invalid(format!("d must be in (0, 0.5), got {d}")));
+        }
         let acf = farima_acf(d, block_len);
-        Self {
+        Ok(Self {
             d,
             mean,
             sd,
@@ -66,7 +84,7 @@ impl FarimaProcess {
             acf_cache_lag: block_len,
             buffer: Vec::new(),
             pos: 0,
-        }
+        })
     }
 
     /// Convenience: from a target Hurst parameter `h = d + ½`.

@@ -4,6 +4,7 @@
 //! for every buffer size, which makes it the degenerate reference point for
 //! the paper's Critical Time Scale analysis.
 
+use crate::error::ModelError;
 use crate::marginal::Marginal;
 use crate::traits::FrameProcess;
 use rand::RngCore;
@@ -18,10 +19,18 @@ impl IidProcess {
     /// Creates the process.
     ///
     /// # Panics
-    /// Panics on an invalid marginal.
+    /// Panics on an invalid marginal; see [`try_new`](Self::try_new).
     pub fn new(marginal: Marginal) -> Self {
-        marginal.validate();
-        Self { marginal }
+        match Self::try_new(marginal) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validated constructor: rejects an invalid marginal.
+    pub fn try_new(marginal: Marginal) -> Result<Self, ModelError> {
+        marginal.try_validate()?;
+        Ok(Self { marginal })
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod ar;
 pub mod dar;
+pub mod error;
 pub mod farima;
 pub mod fbndp;
 pub mod fgn;
@@ -57,6 +58,7 @@ pub mod traits;
 
 pub use ar::GaussianAr1;
 pub use dar::{DarParams, DarProcess};
+pub use error::ModelError;
 pub use farima::{farima_acf, FarimaProcess};
 pub use fbndp::{Fbndp, FbndpParams};
 pub use fgn::{CirculantGenerator, FgnGenerator, FgnProcess};

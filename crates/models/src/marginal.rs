@@ -6,6 +6,7 @@
 //! marginals (Heyman & Lakshman verified the negative-binomial case), so we
 //! carry both, plus a deterministic degenerate marginal for tests.
 
+use crate::error::ModelError;
 use rand::RngCore;
 use vbr_stats::dist::{NegativeBinomial, Normal};
 
@@ -78,21 +79,38 @@ impl Marginal {
     /// Called by model constructors so bad parameters fail at build time,
     /// not mid-simulation.
     pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking validation — rejects non-finite moments, a negative
+    /// Gaussian sd, or a negative-binomial variance not exceeding its mean.
+    pub fn try_validate(&self) -> Result<(), ModelError> {
+        let invalid = |message: String| ModelError::new("Marginal", message);
         match *self {
             Marginal::Gaussian { mean, sd } => {
-                assert!(mean.is_finite(), "invalid Gaussian mean {mean}");
-                assert!(sd >= 0.0 && sd.is_finite(), "invalid Gaussian sd {sd}");
+                if !mean.is_finite() {
+                    return Err(invalid(format!("invalid Gaussian mean {mean}")));
+                }
+                if !(sd >= 0.0 && sd.is_finite()) {
+                    return Err(invalid(format!("invalid Gaussian sd {sd}")));
+                }
             }
             Marginal::NegativeBinomial { mean, variance } => {
-                assert!(
-                    variance > mean && mean > 0.0,
-                    "negative binomial needs variance {variance} > mean {mean} > 0"
-                );
+                if !(variance > mean && mean > 0.0) {
+                    return Err(invalid(format!(
+                        "negative binomial needs variance {variance} > mean {mean} > 0"
+                    )));
+                }
             }
             Marginal::Deterministic { value } => {
-                assert!(value.is_finite(), "invalid deterministic value {value}");
+                if !value.is_finite() {
+                    return Err(invalid(format!("invalid deterministic value {value}")));
+                }
             }
         }
+        Ok(())
     }
 }
 

@@ -1,0 +1,340 @@
+//! Deterministic checkpoint/resume for the replication harness.
+//!
+//! Because replication `r` is seeded from the independent stream
+//! `root.split(r)`, a replication's result depends only on `(config, r)` —
+//! never on which other replications ran, in what order, or on how many
+//! threads. That makes resumption trivially bit-identical: a checkpoint is
+//! just the set of completed replication results, and a resumed run computes
+//! exactly the missing ones and merges. No RNG state needs saving.
+//!
+//! The on-disk format is versioned, line-oriented text. All `f64` payloads
+//! are stored as their IEEE-754 bit patterns in hex (`to_bits`), so the
+//! round-trip is exact — the resumed run's pooled CLR matches an
+//! uninterrupted run to the last bit. A trailer line (`end <count>`) makes
+//! truncation (the writing process died mid-write) detectable; writes go to
+//! a temp file first and are atomically renamed into place so a crash never
+//! corrupts an existing good checkpoint.
+
+use crate::error::{CheckpointErrorKind, SimError};
+use crate::queue::{BopEstimator, LossAccount};
+use crate::runner::{RepResult, SimConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const MAGIC: &str = "vbr-sim-checkpoint";
+
+/// When and where the runner persists completed replications.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path. Written atomically (temp file + rename).
+    pub path: PathBuf,
+    /// Persist after every `every` newly completed replications (1 = after
+    /// each). The final state is always written when the run ends.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint to `path` after every completed replication.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: 1,
+        }
+    }
+}
+
+/// FNV-1a hash of the canonical byte encoding of every config field that
+/// affects simulation output. Two configs with equal fingerprints produce
+/// interchangeable replication results.
+pub fn config_fingerprint(config: &SimConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&(config.n_sources as u64).to_le_bytes());
+    eat(&config.capacity_per_source.to_bits().to_le_bytes());
+    eat(&(config.buffers_total.len() as u64).to_le_bytes());
+    for &b in &config.buffers_total {
+        eat(&b.to_bits().to_le_bytes());
+    }
+    eat(&(config.frames_per_replication as u64).to_le_bytes());
+    eat(&(config.warmup_frames as u64).to_le_bytes());
+    eat(&config.seed.to_le_bytes());
+    eat(&config.ts.to_bits().to_le_bytes());
+    eat(&[u8::from(config.track_bop)]);
+    // Note: `replications` is deliberately excluded — a checkpoint from a
+    // 60-replication run is a valid prefix for an 80-replication run.
+    h
+}
+
+fn ckpt_err(path: &Path, kind: CheckpointErrorKind) -> SimError {
+    SimError::Checkpoint {
+        path: path.to_path_buf(),
+        kind,
+    }
+}
+
+fn parse_err(path: &Path, line: usize, message: impl Into<String>) -> SimError {
+    ckpt_err(
+        path,
+        CheckpointErrorKind::Parse {
+            line,
+            message: message.into(),
+        },
+    )
+}
+
+/// Serializes the completed replication set to the checkpoint text format.
+pub(crate) fn render(config: &SimConfig, results: &BTreeMap<usize, RepResult>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC} v{CHECKPOINT_VERSION}");
+    let _ = writeln!(out, "fingerprint {:016x}", config_fingerprint(config));
+    let _ = writeln!(out, "buffers {}", config.buffers_total.len());
+    let _ = writeln!(out, "track_bop {}", u8::from(config.track_bop));
+    for (&rep, result) in results {
+        let _ = write!(out, "rep {rep} accounts");
+        for a in &result.accounts {
+            let _ = write!(out, " {:016x} {:016x}", a.offered.to_bits(), a.lost.to_bits());
+        }
+        let _ = writeln!(out);
+        if let Some(bop) = &result.bop {
+            let _ = write!(out, "bop {}", bop.observations());
+            for &b in bop.buckets() {
+                let _ = write!(out, " {b}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(out, "end {}", results.len());
+    out
+}
+
+/// Atomically writes the checkpoint file for the given completed set.
+pub(crate) fn save(
+    policy: &CheckpointPolicy,
+    config: &SimConfig,
+    results: &BTreeMap<usize, RepResult>,
+) -> Result<(), SimError> {
+    let body = render(config, results);
+    let tmp = policy.path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, body)
+        .map_err(|e| SimError::io(format!("writing checkpoint {}", tmp.display()), e))?;
+    std::fs::rename(&tmp, &policy.path).map_err(|e| {
+        SimError::io(
+            format!("renaming checkpoint into place at {}", policy.path.display()),
+            e,
+        )
+    })?;
+    Ok(())
+}
+
+/// Parses a checkpoint body; `path` is used only for error context.
+pub(crate) fn parse(
+    text: &str,
+    path: &Path,
+    config: &SimConfig,
+) -> Result<BTreeMap<usize, RepResult>, SimError> {
+    let mut lines = text.lines().enumerate();
+    let n_buffers = config.buffers_total.len();
+
+    // Header: magic + version.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ckpt_err(path, CheckpointErrorKind::Truncated))?;
+    let version = header
+        .strip_prefix(MAGIC)
+        .map(str::trim)
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| ckpt_err(path, CheckpointErrorKind::BadHeader(header.into())))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(ckpt_err(
+            path,
+            CheckpointErrorKind::VersionMismatch {
+                found: version,
+                expected: CHECKPOINT_VERSION,
+            },
+        ));
+    }
+
+    // Fixed preamble: fingerprint, buffer count, bop flag.
+    let mut expect_field = |name: &'static str| -> Result<(usize, String), SimError> {
+        let (i, line) = lines
+            .next()
+            .ok_or_else(|| ckpt_err(path, CheckpointErrorKind::Truncated))?;
+        line.strip_prefix(name)
+            .map(|rest| (i + 1, rest.trim().to_string()))
+            .ok_or_else(|| parse_err(path, i + 1, format!("expected `{name}`, got {line:?}")))
+    };
+    let (fp_line, fp) = expect_field("fingerprint")?;
+    let found_fp = u64::from_str_radix(&fp, 16)
+        .map_err(|e| parse_err(path, fp_line, format!("bad fingerprint: {e}")))?;
+    let expected_fp = config_fingerprint(config);
+    if found_fp != expected_fp {
+        return Err(ckpt_err(
+            path,
+            CheckpointErrorKind::ConfigMismatch {
+                found: found_fp,
+                expected: expected_fp,
+            },
+        ));
+    }
+    let (bl, buffers) = expect_field("buffers")?;
+    let file_buffers: usize = buffers
+        .parse()
+        .map_err(|e| parse_err(path, bl, format!("bad buffer count: {e}")))?;
+    if file_buffers != n_buffers {
+        return Err(parse_err(
+            path,
+            bl,
+            format!("buffer count {file_buffers} vs config {n_buffers}"),
+        ));
+    }
+    let (tl, track) = expect_field("track_bop")?;
+    let file_bop = match track.as_str() {
+        "0" => false,
+        "1" => true,
+        other => return Err(parse_err(path, tl, format!("bad track_bop {other:?}"))),
+    };
+    if file_bop != config.track_bop {
+        return Err(parse_err(
+            path,
+            tl,
+            format!("track_bop {file_bop} vs config {}", config.track_bop),
+        ));
+    }
+
+    // Replication records until the trailer.
+    let mut results: BTreeMap<usize, RepResult> = BTreeMap::new();
+    let mut pending_bop_for: Option<usize> = None;
+    let mut saw_end = false;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if let Some(rest) = line.strip_prefix("end ") {
+            let count: usize = rest
+                .trim()
+                .parse()
+                .map_err(|e| parse_err(path, lineno, format!("bad trailer count: {e}")))?;
+            if count != results.len() {
+                return Err(parse_err(
+                    path,
+                    lineno,
+                    format!("trailer says {count} records, found {}", results.len()),
+                ));
+            }
+            if config.track_bop {
+                if let Some(rep) = pending_bop_for {
+                    return Err(parse_err(path, lineno, format!("rep {rep} missing bop line")));
+                }
+            }
+            saw_end = true;
+            break;
+        } else if let Some(rest) = line.strip_prefix("rep ") {
+            if let Some(rep) = pending_bop_for {
+                return Err(parse_err(path, lineno, format!("rep {rep} missing bop line")));
+            }
+            let mut tokens = rest.split_whitespace();
+            let rep: usize = tokens
+                .next()
+                .ok_or_else(|| parse_err(path, lineno, "missing rep index"))?
+                .parse()
+                .map_err(|e| parse_err(path, lineno, format!("bad rep index: {e}")))?;
+            match tokens.next() {
+                Some("accounts") => {}
+                other => {
+                    return Err(parse_err(path, lineno, format!("expected `accounts`, got {other:?}")))
+                }
+            }
+            let mut accounts = Vec::with_capacity(n_buffers);
+            for b in 0..n_buffers {
+                let mut bits = |what: &str| -> Result<f64, SimError> {
+                    let tok = tokens.next().ok_or_else(|| {
+                        parse_err(path, lineno, format!("buffer {b}: missing {what}"))
+                    })?;
+                    let raw = u64::from_str_radix(tok, 16).map_err(|e| {
+                        parse_err(path, lineno, format!("buffer {b}: bad {what}: {e}"))
+                    })?;
+                    Ok(f64::from_bits(raw))
+                };
+                let offered = bits("offered")?;
+                let lost = bits("lost")?;
+                accounts.push(LossAccount { offered, lost });
+            }
+            if tokens.next().is_some() {
+                return Err(parse_err(path, lineno, "trailing tokens on rep line"));
+            }
+            if results
+                .insert(rep, RepResult::from_accounts(accounts, None))
+                .is_some()
+            {
+                return Err(parse_err(path, lineno, format!("duplicate rep {rep}")));
+            }
+            if config.track_bop {
+                pending_bop_for = Some(rep);
+            }
+        } else if let Some(rest) = line.strip_prefix("bop ") {
+            let rep = pending_bop_for
+                .take()
+                .ok_or_else(|| parse_err(path, lineno, "bop line without preceding rep"))?;
+            let mut tokens = rest.split_whitespace();
+            let total: u64 = tokens
+                .next()
+                .ok_or_else(|| parse_err(path, lineno, "missing bop total"))?
+                .parse()
+                .map_err(|e| parse_err(path, lineno, format!("bad bop total: {e}")))?;
+            let buckets: Vec<u64> = tokens
+                .map(|t| {
+                    t.parse()
+                        .map_err(|e| parse_err(path, lineno, format!("bad bop bucket: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if buckets.len() != n_buffers + 1 {
+                return Err(parse_err(
+                    path,
+                    lineno,
+                    format!("bop bucket count {} vs expected {}", buckets.len(), n_buffers + 1),
+                ));
+            }
+            // `from_raw` asserts this invariant; check it here first so a
+            // corrupt line is a typed parse error, not a panic.
+            let sum: u64 = buckets.iter().sum();
+            if sum != total {
+                return Err(parse_err(
+                    path,
+                    lineno,
+                    format!("bop buckets sum to {sum}, trailer total says {total}"),
+                ));
+            }
+            let est = BopEstimator::from_raw(config.buffers_total.clone(), buckets, total);
+            if let Some(r) = results.get_mut(&rep) {
+                r.bop = Some(est);
+            }
+        } else if line.trim().is_empty() {
+            continue;
+        } else {
+            return Err(parse_err(path, lineno, format!("unrecognized line {line:?}")));
+        }
+    }
+    if !saw_end {
+        return Err(ckpt_err(path, CheckpointErrorKind::Truncated));
+    }
+    Ok(results)
+}
+
+/// Loads and validates a checkpoint against the current config. Returns the
+/// completed replication results keyed by replication index.
+pub(crate) fn load(
+    path: &Path,
+    config: &SimConfig,
+) -> Result<BTreeMap<usize, RepResult>, SimError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::io(format!("reading checkpoint {}", path.display()), e))?;
+    parse(&text, path, config)
+}

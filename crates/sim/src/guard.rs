@@ -1,0 +1,220 @@
+//! Numeric guardrails for the replication harness.
+//!
+//! A single NaN from a model propagates through the fluid-queue recursion
+//! and silently poisons every CLR estimate downstream — the pooled account
+//! merges it into all replications and the run's output is garbage with no
+//! indication of where it came from. [`Guard`] checks every value crossing a
+//! stage boundary (source → aggregate → queue) and converts the first bad
+//! one into a [`SimError::NumericFault`] carrying the replication, frame,
+//! seed and pipeline site, so the fault replays deterministically via
+//! `root.split(replication)`.
+
+use crate::error::{FaultSite, NumericFault, SimError};
+use rand::RngCore;
+use vbr_models::FrameProcess;
+
+/// Per-replication numeric guard: validates frame-rate and queue values,
+/// tracking the frame index so faults are reported with full provenance.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    replication: usize,
+    seed: u64,
+    frame: u64,
+}
+
+impl Guard {
+    /// Creates a guard for one replication of a run rooted at `seed`.
+    pub fn new(replication: usize, seed: u64) -> Self {
+        Self {
+            replication,
+            seed,
+            frame: 0,
+        }
+    }
+
+    /// Current frame index (frames validated so far).
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Advances the frame counter — call once per simulated frame.
+    pub fn advance(&mut self) {
+        self.frame += 1;
+    }
+
+    fn fault(&self, value: f64, site: FaultSite) -> SimError {
+        SimError::NumericFault(NumericFault {
+            replication: self.replication,
+            frame: self.frame,
+            seed: self.seed,
+            value,
+            site,
+        })
+    }
+
+    /// Validates a frame-size value at `site`: must be finite and
+    /// non-negative (frame sizes are rates in cells/frame).
+    #[inline]
+    pub fn check(&self, value: f64, site: FaultSite) -> Result<f64, SimError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(value)
+        } else {
+            Err(self.fault(value, site))
+        }
+    }
+
+    /// Validates one source's output for the current frame.
+    #[inline]
+    pub fn check_source(&self, source: usize, value: f64) -> Result<f64, SimError> {
+        self.check(value, FaultSite::Source(source))
+    }
+
+    /// Validates queue state (workload and loss account) after an offer.
+    /// The fluid recursion preserves finiteness, so this only fires if the
+    /// queue itself is buggy — cheap insurance on the accounting the whole
+    /// paper reproduction rests on.
+    #[inline]
+    pub fn check_queue(&self, buffer_index: usize, queue: &crate::queue::FluidQueue) -> Result<(), SimError> {
+        let valid = |v: f64| v.is_finite() && v >= 0.0;
+        let w = queue.workload();
+        if !valid(w) {
+            return Err(self.fault(w, FaultSite::Queue(buffer_index)));
+        }
+        let acct = queue.account();
+        if !valid(acct.offered) {
+            return Err(self.fault(acct.offered, FaultSite::Queue(buffer_index)));
+        }
+        if !valid(acct.lost) {
+            return Err(self.fault(acct.lost, FaultSite::Queue(buffer_index)));
+        }
+        Ok(())
+    }
+
+    /// Draws one frame from every source, validating each output, and
+    /// returns the validated aggregate.
+    #[inline]
+    pub fn aggregate_frame(
+        &self,
+        sources: &mut [Box<dyn FrameProcess>],
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, SimError> {
+        let mut aggregate = 0.0;
+        for (i, s) in sources.iter_mut().enumerate() {
+            aggregate += self.check_source(i, s.next_frame(rng))?;
+        }
+        // Summing finite non-negatives can only overflow to +inf, catch it.
+        self.check(aggregate, FaultSite::Aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::rng::Xoshiro256PlusPlus;
+
+    /// A process that misbehaves after a configurable number of frames.
+    #[derive(Debug, Clone)]
+    struct Poisoned {
+        after: u64,
+        emitted: u64,
+        value: f64,
+    }
+
+    impl FrameProcess for Poisoned {
+        fn next_frame(&mut self, _rng: &mut dyn RngCore) -> f64 {
+            self.emitted += 1;
+            if self.emitted > self.after {
+                self.value
+            } else {
+                100.0
+            }
+        }
+        fn mean(&self) -> f64 {
+            100.0
+        }
+        fn variance(&self) -> f64 {
+            1.0
+        }
+        fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+            let mut v = vec![0.0; max_lag + 1];
+            v[0] = 1.0;
+            v
+        }
+        fn reset(&mut self, _rng: &mut dyn RngCore) {
+            self.emitted = 0;
+        }
+        fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+            Box::new(self.clone())
+        }
+        fn label(&self) -> String {
+            "poisoned".into()
+        }
+    }
+
+    #[test]
+    fn clean_values_pass_through() {
+        let g = Guard::new(0, 1);
+        assert_eq!(g.check(5.0, FaultSite::Aggregate).unwrap(), 5.0);
+        assert_eq!(g.check(0.0, FaultSite::Aggregate).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nan_inf_negative_all_fault() {
+        let g = Guard::new(3, 9);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let err = g.check(bad, FaultSite::Source(2)).unwrap_err();
+            match err {
+                SimError::NumericFault(f) => {
+                    assert_eq!(f.replication, 3);
+                    assert_eq!(f.seed, 9);
+                    assert_eq!(f.site, FaultSite::Source(2));
+                }
+                other => panic!("wrong error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_pins_offending_source_and_frame() {
+        let clean = Poisoned {
+            after: u64::MAX,
+            emitted: 0,
+            value: 0.0,
+        };
+        let poisoned = Poisoned {
+            after: 4,
+            emitted: 0,
+            value: f64::NAN,
+        };
+        let mut sources: Vec<Box<dyn FrameProcess>> =
+            vec![Box::new(clean), Box::new(poisoned)];
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(1);
+        let mut g = Guard::new(0, 42);
+        let mut failure = None;
+        for _ in 0..10 {
+            match g.aggregate_frame(&mut sources, &mut rng) {
+                Ok(_) => g.advance(),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        match failure.expect("must fault") {
+            SimError::NumericFault(f) => {
+                assert_eq!(f.site, FaultSite::Source(1));
+                assert_eq!(f.frame, 4, "fault on the fifth frame (index 4)");
+                assert!(f.value.is_nan());
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_queue_passes_check() {
+        let mut q = crate::queue::FluidQueue::finite(100.0, 10.0);
+        q.offer(150.0);
+        let g = Guard::new(0, 1);
+        assert!(g.check_queue(0, &q).is_ok());
+    }
+}

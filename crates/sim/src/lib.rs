@@ -25,11 +25,21 @@
 //!   (common random numbers), Student-t confidence intervals across
 //!   replications, and an infinite-buffer survival-curve estimator for BOP
 //!   comparisons.
+//!
+//! The harness is fault tolerant: all failures are typed ([`error`]),
+//! model outputs are guarded against NaN/Inf/negative rates ([`guard`]),
+//! long runs checkpoint and resume bit-identically ([`checkpoint`]), and a
+//! watchdog degrades an over-budget run to a partial result with explicit
+//! provenance instead of hanging or panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cell;
+pub mod checkpoint;
+pub mod error;
+pub mod guard;
 pub mod priority;
 pub mod queue;
 pub mod runner;
@@ -37,8 +47,14 @@ pub mod switch;
 pub mod trace;
 
 pub use cell::CellMultiplexer;
+pub use checkpoint::{config_fingerprint, CheckpointPolicy, CHECKPOINT_VERSION};
+pub use error::{CheckpointErrorKind, FaultSite, NumericFault, SimError};
+pub use guard::Guard;
 pub use priority::PriorityQueue;
 pub use switch::{OutputQueuedSwitch, PortConfig};
 pub use trace::TraceProcess;
 pub use queue::{BopEstimator, FluidQueue, LossAccount};
-pub use runner::{simulate_clr, simulate_clr_mix, ClrEstimate, SimConfig, SimOutcome, SourceMix};
+pub use runner::{
+    run, run_mix, simulate_clr, simulate_clr_mix, ClrEstimate, Provenance, RunOptions, SimConfig,
+    SimOutcome, SourceMix, Watchdog,
+};

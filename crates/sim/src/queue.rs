@@ -175,9 +175,38 @@ impl BopEstimator {
         self.total += 1;
     }
 
+    /// Reconstructs an estimator from its raw histogram — the checkpoint
+    /// codec's inverse of [`buckets`](Self::buckets) /
+    /// [`observations`](Self::observations).
+    ///
+    /// # Panics
+    /// Panics if the grid is invalid, `buckets.len() != thresholds.len() + 1`,
+    /// or the buckets do not sum to `total`.
+    pub fn from_raw(thresholds: Vec<f64>, buckets: Vec<u64>, total: u64) -> Self {
+        assert!(!thresholds.is_empty(), "no thresholds");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be strictly increasing"
+        );
+        assert_eq!(buckets.len(), thresholds.len() + 1, "bucket count mismatch");
+        assert_eq!(buckets.iter().sum::<u64>(), total, "bucket total mismatch");
+        Self {
+            thresholds,
+            buckets,
+            total,
+        }
+    }
+
     /// The threshold grid.
     pub fn thresholds(&self) -> &[f64] {
         &self.thresholds
+    }
+
+    /// The raw histogram (`thresholds.len() + 1` buckets; see the field
+    /// docs for the binning convention). Exposed for checkpoint
+    /// serialization.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
     }
 
     /// Total observations.

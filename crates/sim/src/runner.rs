@@ -1,9 +1,9 @@
-//! Parallel replication harness.
+//! Fault-tolerant parallel replication harness.
 //!
 //! Reproduces the paper's measurement protocol: independent replications of
 //! a multiplexer of N homogeneous sources, CLR estimated per buffer size,
-//! replication-level Student-t confidence intervals. Two engineering
-//! choices worth noting:
+//! replication-level Student-t confidence intervals. Engineering choices
+//! worth noting:
 //!
 //! * **Common random numbers across buffer sizes** — every finite-buffer
 //!   queue in the sweep consumes the *same* arrival stream within a
@@ -13,12 +13,35 @@
 //! * **Deterministic seeding** — replication r uses the stream
 //!   `root.split(r)`; results are bit-reproducible for a given `seed`
 //!   regardless of thread count.
+//! * **Typed failure** — nothing in this module panics on bad input or bad
+//!   model output. Configuration problems, NaN/Inf/negative rates (with the
+//!   offending replication, frame and seed), unusable checkpoint files and
+//!   exhausted watchdog budgets all surface as [`SimError`].
+//! * **Checkpoint/resume** — with a [`CheckpointPolicy`], completed
+//!   replications are persisted and a killed run resumes bit-identically
+//!   (see the [`checkpoint`](crate::checkpoint) module).
+//! * **Watchdog degradation** — with a [`Watchdog`], a run that overruns its
+//!   budget returns the replications it finished, with the shortfall
+//!   recorded in [`Provenance`] instead of being silently absorbed.
 
+use crate::checkpoint::{self, CheckpointPolicy};
+use crate::error::SimError;
+use crate::guard::Guard;
 use crate::queue::{BopEstimator, FluidQueue, LossAccount};
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use vbr_models::FrameProcess;
 use vbr_stats::rng::Xoshiro256PlusPlus;
 use vbr_stats::ConfidenceInterval;
+
+/// Frames between watchdog deadline checks inside a replication. Checking
+/// wall time every frame would cost a syscall per 40 ms of simulated video;
+/// every 1024 frames it is noise while still bounding overrun detection to
+/// well under a second of wall time.
+const WATCHDOG_CHECK_FRAMES: usize = 1024;
 
 /// Configuration of one CLR experiment.
 #[derive(Debug, Clone)]
@@ -63,21 +86,66 @@ impl SimConfig {
         }
     }
 
-    fn validate(&self) {
-        assert!(self.n_sources >= 1, "need at least one source");
-        assert!(
-            self.capacity_per_source > 0.0,
-            "invalid capacity {}",
-            self.capacity_per_source
-        );
-        assert!(!self.buffers_total.is_empty(), "no buffer sizes");
-        assert!(
-            self.buffers_total.windows(2).all(|w| w[0] < w[1]),
-            "buffer grid must be strictly increasing"
-        );
-        assert!(self.frames_per_replication > 0, "zero-length replication");
-        assert!(self.replications >= 1, "need at least one replication");
-        assert!(self.ts > 0.0, "invalid frame duration {}", self.ts);
+    /// Checks every field, reporting the first violation as
+    /// [`SimError::InvalidConfig`] instead of panicking — a malformed config
+    /// must not take down a fleet runner that manages many experiments.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_sources < 1 {
+            return Err(SimError::invalid_config("n_sources", "need at least one source"));
+        }
+        if !(self.capacity_per_source > 0.0 && self.capacity_per_source.is_finite()) {
+            return Err(SimError::invalid_config(
+                "capacity_per_source",
+                format!("invalid capacity {}", self.capacity_per_source),
+            ));
+        }
+        if self.buffers_total.is_empty() {
+            return Err(SimError::invalid_config("buffers_total", "no buffer sizes"));
+        }
+        if let Some(&bad) = self
+            .buffers_total
+            .iter()
+            .find(|b| !(b.is_finite() && **b >= 0.0))
+        {
+            return Err(SimError::invalid_config(
+                "buffers_total",
+                format!("invalid buffer size {bad}"),
+            ));
+        }
+        if !self.buffers_total.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SimError::invalid_config(
+                "buffers_total",
+                "buffer grid must be strictly increasing",
+            ));
+        }
+        if self.frames_per_replication == 0 {
+            return Err(SimError::invalid_config(
+                "frames_per_replication",
+                "zero-length replication",
+            ));
+        }
+        if self.warmup_frames >= self.frames_per_replication {
+            return Err(SimError::invalid_config(
+                "warmup_frames",
+                format!(
+                    "warmup ({}) must be shorter than the measured window ({})",
+                    self.warmup_frames, self.frames_per_replication
+                ),
+            ));
+        }
+        if self.replications < 1 {
+            return Err(SimError::invalid_config(
+                "replications",
+                "need at least one replication",
+            ));
+        }
+        if !(self.ts > 0.0 && self.ts.is_finite()) {
+            return Err(SimError::invalid_config(
+                "ts",
+                format!("invalid frame duration {}", self.ts),
+            ));
+        }
+        Ok(())
     }
 
     /// Total capacity `N·c` (cells/frame).
@@ -88,6 +156,56 @@ impl SimConfig {
     /// Buffer size expressed as maximum queueing delay (msec).
     pub fn buffer_ms(&self, buffer_total: f64) -> f64 {
         buffer_total / self.total_capacity() * self.ts * 1e3
+    }
+}
+
+/// Wall-clock guardrails for a run. `Default` disables both (no overhead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Per-replication frame-progress deadline: a replication still running
+    /// after this much wall time is abandoned (counted in
+    /// [`Provenance::timed_out`]) and the harness moves on.
+    pub replication_deadline: Option<Duration>,
+    /// Run-level budget: once exceeded, no *new* replication starts — except
+    /// that the run always finishes at least one replication if it can, so
+    /// there is a result to degrade to.
+    pub run_budget: Option<Duration>,
+}
+
+/// Execution options for [`run`] / [`run_mix`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Persist completed replications and resume from them.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Wall-clock guardrails.
+    pub watchdog: Watchdog,
+    /// Worker-thread cap (None = available parallelism). Results are
+    /// identical for any thread count; this only bounds resource use — and,
+    /// together with `watchdog.run_budget`, controls how many replications a
+    /// degraded run completes.
+    pub threads: Option<usize>,
+}
+
+/// How a run's results relate to what was asked for — the `completed /
+/// requested` record that keeps a degraded run honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// Replications the configuration asked for.
+    pub requested: usize,
+    /// Replications whose results are included in the estimates.
+    pub completed: usize,
+    /// Replications abandoned by the per-replication deadline.
+    pub timed_out: usize,
+    /// Of the completed, how many were loaded from a checkpoint.
+    pub resumed: usize,
+    /// True if the run-level budget expired before all replications ran.
+    pub budget_exhausted: bool,
+}
+
+impl Provenance {
+    /// True if the estimates cover fewer replications than requested.
+    pub fn is_partial(&self) -> bool {
+        self.completed < self.requested
     }
 }
 
@@ -113,14 +231,42 @@ pub struct SimOutcome {
     /// Infinite-buffer survival curve `P(W > B)` over the buffer grid, if
     /// requested.
     pub bop: Option<Vec<(f64, f64)>>,
-    /// Total measured frames across replications.
+    /// Total measured frames across the *completed* replications.
     pub frames_total: u64,
+    /// Completed/requested accounting; check [`Provenance::is_partial`]
+    /// before treating the estimates as the full protocol.
+    pub provenance: Provenance,
 }
 
-struct RepResult {
-    accounts: Vec<LossAccount>,
-    clrs: Vec<f64>,
-    bop: Option<BopEstimator>,
+/// One completed replication. `pub(crate)` so the checkpoint codec can
+/// persist and restore it.
+#[derive(Debug, Clone)]
+pub(crate) struct RepResult {
+    pub(crate) accounts: Vec<LossAccount>,
+    pub(crate) clrs: Vec<f64>,
+    pub(crate) bop: Option<BopEstimator>,
+}
+
+impl RepResult {
+    /// Rebuilds a result from its persisted accounts (CLRs are re-derived —
+    /// `lost/offered` is the same computation the live path ran, so the
+    /// round-trip is bit-exact).
+    pub(crate) fn from_accounts(accounts: Vec<LossAccount>, bop: Option<BopEstimator>) -> Self {
+        let clrs = accounts.iter().map(|a| a.clr()).collect();
+        Self {
+            accounts,
+            clrs,
+            bop,
+        }
+    }
+}
+
+/// Why a single replication did not produce a result.
+enum RepFailure {
+    /// Numeric fault or other fatal error: the whole run must stop.
+    Fatal(SimError),
+    /// The per-replication deadline expired; degradable.
+    TimedOut,
 }
 
 /// A heterogeneous source mix: `count` copies of each prototype. The
@@ -133,13 +279,15 @@ pub struct SourceMix<'a> {
 }
 
 impl<'a> SourceMix<'a> {
-    /// Builds a mix; panics if empty or zero total sources.
-    pub fn new(groups: Vec<(&'a dyn FrameProcess, usize)>) -> Self {
-        assert!(
-            groups.iter().map(|&(_, n)| n).sum::<usize>() > 0,
-            "mix needs at least one source"
-        );
-        Self { groups }
+    /// Builds a mix; rejects an empty mix (zero total sources).
+    pub fn new(groups: Vec<(&'a dyn FrameProcess, usize)>) -> Result<Self, SimError> {
+        if groups.iter().map(|&(_, n)| n).sum::<usize>() == 0 {
+            return Err(SimError::invalid_config(
+                "mix",
+                "mix needs at least one source",
+            ));
+        }
+        Ok(Self { groups })
     }
 
     /// Total number of sources.
@@ -171,11 +319,12 @@ fn run_replication(
     config: &SimConfig,
     rep: usize,
     root: &Xoshiro256PlusPlus,
-) -> RepResult {
+    watchdog: &Watchdog,
+) -> Result<RepResult, RepFailure> {
     let sources: Vec<Box<dyn FrameProcess>> = (0..config.n_sources)
         .map(|_| prototype.boxed_clone())
         .collect();
-    run_replication_sources(sources, config, rep, root)
+    run_replication_sources(sources, config, rep, root, watchdog)
 }
 
 fn run_replication_sources(
@@ -183,7 +332,8 @@ fn run_replication_sources(
     config: &SimConfig,
     rep: usize,
     root: &Xoshiro256PlusPlus,
-) -> RepResult {
+    watchdog: &Watchdog,
+) -> Result<RepResult, RepFailure> {
     let mut rng = root.split(rep as u64);
     for s in sources.iter_mut() {
         s.reset(&mut rng);
@@ -202,6 +352,8 @@ fn run_replication_sources(
         )
     });
 
+    let mut guard = Guard::new(rep, config.seed);
+    let started = watchdog.replication_deadline.map(|d| (Instant::now(), d));
     let total_frames = config.warmup_frames + config.frames_per_replication;
     for frame in 0..total_frames {
         if frame == config.warmup_frames {
@@ -209,9 +361,19 @@ fn run_replication_sources(
                 q.clear_accounts();
             }
         }
-        let aggregate: f64 = sources.iter_mut().map(|s| s.next_frame(&mut rng)).sum();
-        for q in queues.iter_mut() {
+        if frame % WATCHDOG_CHECK_FRAMES == 0 {
+            if let Some((t0, deadline)) = started {
+                if t0.elapsed() > deadline {
+                    return Err(RepFailure::TimedOut);
+                }
+            }
+        }
+        let aggregate = guard
+            .aggregate_frame(&mut sources, &mut rng)
+            .map_err(RepFailure::Fatal)?;
+        for (i, q) in queues.iter_mut().enumerate() {
             q.offer(aggregate);
+            guard.check_queue(i, q).map_err(RepFailure::Fatal)?;
         }
         if let Some((q, est)) = infinite.as_mut() {
             q.offer(aggregate);
@@ -219,64 +381,150 @@ fn run_replication_sources(
                 est.observe(q.workload());
             }
         }
+        guard.advance();
     }
 
     let accounts: Vec<LossAccount> = queues.iter().map(|q| q.account()).collect();
-    let clrs = accounts.iter().map(|a| a.clr()).collect();
-    RepResult {
+    Ok(RepResult::from_accounts(
         accounts,
-        clrs,
-        bop: infinite.map(|(_, est)| est),
+        infinite.map(|(_, est)| est),
+    ))
+}
+
+/// Shared mutable state of a run: completed results plus checkpoint
+/// bookkeeping (new completions since the last persisted write).
+struct RunState {
+    completed: BTreeMap<usize, RepResult>,
+    unsaved: usize,
+}
+
+/// Handles one replication outcome against the shared state; returns an
+/// error only for fatal conditions (numeric fault, checkpoint write
+/// failure).
+fn absorb(
+    state: &Mutex<RunState>,
+    options: &RunOptions,
+    config: &SimConfig,
+    rep: usize,
+    outcome: Result<RepResult, RepFailure>,
+    timed_out: &AtomicUsize,
+) -> Result<(), SimError> {
+    match outcome {
+        Ok(result) => {
+            let mut state = state.lock().unwrap_or_else(|e| e.into_inner());
+            state.completed.insert(rep, result);
+            state.unsaved += 1;
+            if let Some(policy) = &options.checkpoint {
+                if state.unsaved >= policy.every.max(1) {
+                    checkpoint::save(policy, config, &state.completed)?;
+                    state.unsaved = 0;
+                }
+            }
+            Ok(())
+        }
+        Err(RepFailure::TimedOut) => {
+            timed_out.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(RepFailure::Fatal(e)) => Err(e),
     }
 }
 
-/// Runs the experiment, fanning replications across threads.
+/// Runs the experiment with full fault tolerance: validation, numeric
+/// guardrails, optional checkpoint/resume and watchdog degradation, fanning
+/// replications across threads.
 ///
-/// Deterministic for a fixed `config.seed` independent of thread count.
-pub fn simulate_clr(prototype: &dyn FrameProcess, config: &SimConfig) -> SimOutcome {
-    config.validate();
+/// Deterministic for a fixed `config.seed` independent of thread count; a
+/// resumed run is bit-identical to an uninterrupted one.
+pub fn run(
+    prototype: &dyn FrameProcess,
+    config: &SimConfig,
+    options: &RunOptions,
+) -> Result<SimOutcome, SimError> {
+    config.validate()?;
     let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
 
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(config.replications);
-
-    let results: Vec<RepResult> = if threads <= 1 {
-        (0..config.replications)
-            .map(|rep| run_replication(prototype, config, rep, &root))
-            .collect()
-    } else {
-        let mut slots: Vec<Option<RepResult>> = Vec::new();
-        slots.resize_with(config.replications, || None);
-        let counter = std::sync::atomic::AtomicUsize::new(0);
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let counter = &counter;
-                let slots_mutex = &slots_mutex;
-                let root = &root;
-                let proto = prototype.boxed_clone();
-                scope.spawn(move || {
-                    loop {
-                        let rep =
-                            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if rep >= config.replications {
-                            break;
-                        }
-                        let result = run_replication(proto.as_ref(), config, rep, root);
-                        slots_mutex.lock().expect("slot lock")[rep] = Some(result);
-                    }
-                });
-            }
-        });
-        slots
+    // Resume: load completed replications, if a readable checkpoint exists.
+    let resumed: BTreeMap<usize, RepResult> = match &options.checkpoint {
+        Some(policy) if policy.path.exists() => checkpoint::load(&policy.path, config)?
             .into_iter()
-            .map(|r| r.expect("every replication filled"))
-            .collect()
+            .filter(|(rep, _)| *rep < config.replications)
+            .collect(),
+        _ => BTreeMap::new(),
+    };
+    let n_resumed = resumed.len();
+    let remaining: Vec<usize> = (0..config.replications)
+        .filter(|r| !resumed.contains_key(r))
+        .collect();
+
+    let state = Mutex::new(RunState {
+        completed: resumed,
+        unsaved: 0,
+    });
+    let timed_out = AtomicUsize::new(0);
+    let budget_hit = AtomicBool::new(false);
+    let fatal: Mutex<Option<SimError>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let run_start = Instant::now();
+
+    let threads = options
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, remaining.len().max(1));
+
+    let worker = |proto: Box<dyn FrameProcess>| {
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            // Budget check: never starve the run of its first result — a
+            // degraded run must still have something to report.
+            if let Some(budget) = options.watchdog.run_budget {
+                if run_start.elapsed() > budget {
+                    let have_one = {
+                        let state = state.lock().unwrap_or_else(|e| e.into_inner());
+                        !state.completed.is_empty()
+                    };
+                    if have_one {
+                        budget_hit.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&rep) = remaining.get(i) else { break };
+            let outcome = run_replication(proto.as_ref(), config, rep, &root, &options.watchdog);
+            if let Err(e) = absorb(&state, options, config, rep, outcome, &timed_out) {
+                let mut slot = fatal.lock().unwrap_or_else(|p| p.into_inner());
+                slot.get_or_insert(e);
+                stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
     };
 
-    collect_outcome(config, results)
+    if threads <= 1 || remaining.len() <= 1 {
+        worker(prototype.boxed_clone());
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let proto = prototype.boxed_clone();
+                scope.spawn(|| worker(proto));
+            }
+        });
+    }
+
+    if let Some(e) = fatal.lock().unwrap_or_else(|p| p.into_inner()).take() {
+        return Err(e);
+    }
+
+    let state = state.into_inner().unwrap_or_else(|p| p.into_inner());
+    finish(config, options, state, &timed_out, &budget_hit, n_resumed)
 }
 
 /// Runs a CLR experiment for a **heterogeneous** mix of sources — e.g. the
@@ -285,24 +533,125 @@ pub fn simulate_clr(prototype: &dyn FrameProcess, config: &SimConfig) -> SimOutc
 /// total (the per-source capacity is re-interpreted against that total).
 ///
 /// Runs replications sequentially (the mix API is used for modest scenario
-/// studies; the homogeneous path has the threaded harness).
-pub fn simulate_clr_mix(mix: &SourceMix<'_>, config: &SimConfig) -> SimOutcome {
+/// studies; the homogeneous path has the threaded harness) but supports the
+/// same checkpoint/watchdog options.
+pub fn run_mix(
+    mix: &SourceMix<'_>,
+    config: &SimConfig,
+    options: &RunOptions,
+) -> Result<SimOutcome, SimError> {
     let mut config = config.clone();
     config.n_sources = mix.total();
-    config.validate();
+    config.validate()?;
     let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
-    let results: Vec<RepResult> = (0..config.replications)
-        .map(|rep| run_replication_sources(mix.instantiate(), &config, rep, &root))
-        .collect();
-    collect_outcome(&config, results)
+
+    let resumed: BTreeMap<usize, RepResult> = match &options.checkpoint {
+        Some(policy) if policy.path.exists() => checkpoint::load(&policy.path, &config)?
+            .into_iter()
+            .filter(|(rep, _)| *rep < config.replications)
+            .collect(),
+        _ => BTreeMap::new(),
+    };
+    let n_resumed = resumed.len();
+    let state = Mutex::new(RunState {
+        completed: resumed,
+        unsaved: 0,
+    });
+    let timed_out = AtomicUsize::new(0);
+    let budget_hit = AtomicBool::new(false);
+    let run_start = Instant::now();
+
+    for rep in 0..config.replications {
+        {
+            let has_rep = state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .completed
+                .contains_key(&rep);
+            if has_rep {
+                continue;
+            }
+        }
+        if let Some(budget) = options.watchdog.run_budget {
+            let have_one = !state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .completed
+                .is_empty();
+            if run_start.elapsed() > budget && have_one {
+                budget_hit.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        let outcome =
+            run_replication_sources(mix.instantiate(), &config, rep, &root, &options.watchdog);
+        absorb(&state, options, &config, rep, outcome, &timed_out)?;
+    }
+
+    let state = state.into_inner().unwrap_or_else(|p| p.into_inner());
+    finish(&config, options, state, &timed_out, &budget_hit, n_resumed)
 }
 
-fn collect_outcome(config: &SimConfig, results: Vec<RepResult>) -> SimOutcome {
+/// Final checkpoint write, degradation accounting and outcome assembly.
+fn finish(
+    config: &SimConfig,
+    options: &RunOptions,
+    state: RunState,
+    timed_out: &AtomicUsize,
+    budget_hit: &AtomicBool,
+    resumed: usize,
+) -> Result<SimOutcome, SimError> {
+    let timed_out = timed_out.load(Ordering::Relaxed);
+    if state.completed.is_empty() {
+        return Err(SimError::NoCompletedReplications {
+            requested: config.replications,
+            timed_out,
+            budget: options.watchdog.run_budget,
+        });
+    }
+    if state.unsaved > 0 {
+        if let Some(policy) = &options.checkpoint {
+            checkpoint::save(policy, config, &state.completed)?;
+        }
+    }
+    let provenance = Provenance {
+        requested: config.replications,
+        completed: state.completed.len(),
+        timed_out,
+        resumed,
+        budget_exhausted: budget_hit.load(Ordering::Relaxed),
+    };
+    Ok(collect_outcome(config, &state.completed, provenance))
+}
+
+/// Runs the experiment, fanning replications across threads.
+///
+/// Deterministic for a fixed `config.seed` independent of thread count.
+/// Equivalent to [`run`] with default [`RunOptions`] (no checkpointing, no
+/// watchdog).
+pub fn simulate_clr(
+    prototype: &dyn FrameProcess,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    run(prototype, config, &RunOptions::default())
+}
+
+/// Heterogeneous-mix counterpart of [`simulate_clr`]; see [`run_mix`].
+pub fn simulate_clr_mix(mix: &SourceMix<'_>, config: &SimConfig) -> Result<SimOutcome, SimError> {
+    run_mix(mix, config, &RunOptions::default())
+}
+
+fn collect_outcome(
+    config: &SimConfig,
+    results: &BTreeMap<usize, RepResult>,
+    provenance: Provenance,
+) -> SimOutcome {
+    debug_assert_eq!(results.len(), provenance.completed);
     let per_buffer = (0..config.buffers_total.len())
         .map(|i| {
-            let clr_samples: Vec<f64> = results.iter().map(|r| r.clrs[i]).collect();
+            let clr_samples: Vec<f64> = results.values().map(|r| r.clrs[i]).collect();
             let mut pooled = LossAccount::default();
-            for r in &results {
+            for r in results.values() {
                 pooled.merge(&r.accounts[i]);
             }
             ClrEstimate {
@@ -316,32 +665,35 @@ fn collect_outcome(config: &SimConfig, results: Vec<RepResult>) -> SimOutcome {
 
     let bop = config.track_bop.then(|| {
         let mut merged: Option<BopEstimator> = None;
-        for r in &results {
-            let est = r.bop.as_ref().expect("bop tracked");
+        for est in results.values().filter_map(|r| r.bop.as_ref()) {
             match merged.as_mut() {
                 Some(m) => m.merge(est),
                 None => merged = Some(est.clone()),
             }
         }
-        let merged = merged.expect("at least one replication");
-        merged
-            .thresholds()
-            .iter()
-            .copied()
-            .zip(merged.survival())
-            .collect()
+        match merged {
+            Some(merged) => merged
+                .thresholds()
+                .iter()
+                .copied()
+                .zip(merged.survival())
+                .collect(),
+            None => Vec::new(),
+        }
     });
 
     SimOutcome {
         per_buffer,
         bop,
-        frames_total: (config.replications * config.frames_per_replication) as u64,
+        frames_total: (results.len() * config.frames_per_replication) as u64,
+        provenance,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngCore;
     use vbr_models::{GaussianAr1, IidProcess, Marginal};
 
     fn quick_config(buffers: Vec<f64>) -> SimConfig {
@@ -365,18 +717,20 @@ mod tests {
         let mut cfg = quick_config(vec![0.0]);
         cfg.frames_per_replication = 300_000;
         cfg.replications = 8;
-        let out = simulate_clr(&proto, &cfg);
+        let out = simulate_clr(&proto, &cfg).expect("valid run");
         let clr = out.per_buffer[0].pooled.clr();
         assert!(
             clr > 4e-6 && clr < 3e-5,
             "zero-buffer CLR {clr:e} should be near 1.1e-5"
         );
+        assert!(!out.provenance.is_partial());
     }
 
     #[test]
     fn clr_decreases_with_buffer() {
         let proto = GaussianAr1::new(500.0, 5000.0_f64.sqrt(), 0.9);
-        let out = simulate_clr(&proto, &quick_config(vec![0.0, 500.0, 2000.0]));
+        let out =
+            simulate_clr(&proto, &quick_config(vec![0.0, 500.0, 2000.0])).expect("valid run");
         let clrs: Vec<f64> = out.per_buffer.iter().map(|e| e.pooled.clr()).collect();
         assert!(
             clrs[0] >= clrs[1] && clrs[1] >= clrs[2],
@@ -390,8 +744,8 @@ mod tests {
         let proto = GaussianAr1::new(500.0, 70.0, 0.8);
         let mut cfg = quick_config(vec![100.0]);
         cfg.frames_per_replication = 5_000;
-        let a = simulate_clr(&proto, &cfg);
-        let b = simulate_clr(&proto, &cfg);
+        let a = simulate_clr(&proto, &cfg).expect("valid run");
+        let b = simulate_clr(&proto, &cfg).expect("valid run");
         assert_eq!(
             a.per_buffer[0].pooled,
             b.per_buffer[0].pooled,
@@ -400,11 +754,38 @@ mod tests {
     }
 
     #[test]
+    fn thread_cap_does_not_change_results() {
+        let proto = GaussianAr1::new(500.0, 70.0, 0.8);
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 3_000;
+        let seq = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .expect("sequential");
+        let par = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(4),
+                ..RunOptions::default()
+            },
+        )
+        .expect("parallel");
+        assert_eq!(seq.per_buffer[0].pooled, par.per_buffer[0].pooled);
+        assert_eq!(seq.per_buffer[0].clr.mean, par.per_buffer[0].clr.mean);
+    }
+
+    #[test]
     fn buffer_ms_conversion() {
         let cfg = quick_config(vec![807.0]);
         // B = 807 cells at 16140 cells/frame and 40 ms frames -> 2 ms.
         assert!((cfg.buffer_ms(807.0) - 2.0).abs() < 1e-9);
-        let out = simulate_clr(&GaussianAr1::new(500.0, 70.0, 0.5), &cfg);
+        let out = simulate_clr(&GaussianAr1::new(500.0, 70.0, 0.5), &cfg).expect("valid run");
         assert!((out.per_buffer[0].buffer_ms - 2.0).abs() < 1e-9);
     }
 
@@ -413,7 +794,7 @@ mod tests {
         let proto = GaussianAr1::new(500.0, 70.0, 0.9);
         let mut cfg = quick_config(vec![1.0, 200.0, 800.0, 2000.0]);
         cfg.track_bop = true;
-        let out = simulate_clr(&proto, &cfg);
+        let out = simulate_clr(&proto, &cfg).expect("valid run");
         let bop = out.bop.expect("tracked");
         assert_eq!(bop.len(), 4);
         for w in bop.windows(2) {
@@ -430,8 +811,12 @@ mod tests {
         small.frames_per_replication = 5_000;
         let mut large = small.clone();
         large.replications = 12;
-        let hw_small = simulate_clr(&proto, &small).per_buffer[0].clr.half_width;
-        let hw_large = simulate_clr(&proto, &large).per_buffer[0].clr.half_width;
+        let hw_small = simulate_clr(&proto, &small).expect("valid run").per_buffer[0]
+            .clr
+            .half_width;
+        let hw_large = simulate_clr(&proto, &large).expect("valid run").per_buffer[0]
+            .clr
+            .half_width;
         assert!(
             hw_large < hw_small,
             "CI should shrink: {hw_large} vs {hw_small}"
@@ -439,9 +824,152 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn rejects_unsorted_buffer_grid() {
         let proto = IidProcess::new(Marginal::paper_gaussian());
-        simulate_clr(&proto, &quick_config(vec![10.0, 5.0]));
+        let err = simulate_clr(&proto, &quick_config(vec![10.0, 5.0])).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::InvalidConfig {
+                    field: "buffers_total",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_warmup_swallowing_measurement() {
+        let proto = IidProcess::new(Marginal::paper_gaussian());
+        let mut cfg = quick_config(vec![10.0]);
+        cfg.warmup_frames = cfg.frames_per_replication;
+        let err = simulate_clr(&proto, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::InvalidConfig {
+                    field: "warmup_frames",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    /// A model that stalls (sleeps) on every frame — drives watchdog tests.
+    #[derive(Debug, Clone)]
+    struct Molasses;
+
+    impl FrameProcess for Molasses {
+        fn next_frame(&mut self, _rng: &mut dyn RngCore) -> f64 {
+            std::thread::sleep(Duration::from_millis(2));
+            100.0
+        }
+        fn mean(&self) -> f64 {
+            100.0
+        }
+        fn variance(&self) -> f64 {
+            1.0
+        }
+        fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+            let mut v = vec![0.0; max_lag + 1];
+            v[0] = 1.0;
+            v
+        }
+        fn reset(&mut self, _rng: &mut dyn RngCore) {}
+        fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+            Box::new(Molasses)
+        }
+        fn label(&self) -> String {
+            "molasses".into()
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_degrades_to_partial() {
+        let proto = GaussianAr1::new(500.0, 70.0, 0.5);
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 2_000;
+        cfg.replications = 6;
+        let out = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                watchdog: Watchdog {
+                    run_budget: Some(Duration::ZERO),
+                    ..Watchdog::default()
+                },
+                ..RunOptions::default()
+            },
+        )
+        .expect("degrades, not errors");
+        assert_eq!(out.provenance.completed, 1, "budget 0 still yields one");
+        assert_eq!(out.provenance.requested, 6);
+        assert!(out.provenance.is_partial());
+        assert!(out.provenance.budget_exhausted);
+        assert_eq!(out.frames_total, 2_000);
+        assert!(out.per_buffer[0].clr.half_width.is_infinite(), "n=1 CI");
+    }
+
+    #[test]
+    fn watchdog_replication_deadline_abandons_stalled_reps() {
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.n_sources = 2;
+        cfg.frames_per_replication = 200_000;
+        cfg.warmup_frames = 0;
+        cfg.replications = 2;
+        let err = run(
+            &Molasses,
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                watchdog: Watchdog {
+                    replication_deadline: Some(Duration::from_millis(1)),
+                    ..Watchdog::default()
+                },
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            SimError::NoCompletedReplications {
+                requested,
+                timed_out,
+                ..
+            } => {
+                assert_eq!(requested, 2);
+                assert_eq!(timed_out, 2);
+            }
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_within_runner() {
+        let dir = std::env::temp_dir().join("vbr_runner_ckpt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("roundtrip.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let proto = GaussianAr1::new(500.0, 70.0, 0.8);
+        let mut cfg = quick_config(vec![100.0, 500.0]);
+        cfg.frames_per_replication = 2_000;
+        cfg.replications = 3;
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::new(&path)),
+            ..RunOptions::default()
+        };
+        let a = run(&proto, &cfg, &opts).expect("first run");
+        assert!(path.exists(), "checkpoint persisted");
+        // Second run resumes everything from the checkpoint — no recompute.
+        let b = run(&proto, &cfg, &opts).expect("resumed run");
+        assert_eq!(b.provenance.resumed, 3);
+        for (x, y) in a.per_buffer.iter().zip(&b.per_buffer) {
+            assert_eq!(x.pooled, y.pooled);
+            assert_eq!(x.clr.mean.to_bits(), y.clr.mean.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

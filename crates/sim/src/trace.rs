@@ -16,6 +16,7 @@
 //! * a simple text codec (one frame size per line, `#` comments) for
 //!   interchange with the classic public trace archives.
 
+use crate::error::SimError;
 use rand::{Rng, RngCore};
 use vbr_models::FrameProcess;
 use vbr_stats::sample_acf_fft;
@@ -39,26 +40,50 @@ impl TraceProcess {
     ///
     /// # Panics
     /// Panics if the trace has fewer than 2 frames, non-finite or negative
-    /// entries, zero variance, or `acf_horizon >= len`.
+    /// entries, zero variance, or `acf_horizon >= len`. Use
+    /// [`try_new`](Self::try_new) for a non-panicking variant.
     pub fn new(frames: Vec<f64>, label: impl Into<String>, acf_horizon: usize) -> Self {
-        assert!(frames.len() >= 2, "trace too short");
-        assert!(
-            acf_horizon < frames.len(),
-            "acf_horizon {acf_horizon} must be < trace length {}",
-            frames.len()
-        );
-        for (i, &x) in frames.iter().enumerate() {
-            assert!(
-                x.is_finite() && x >= 0.0,
-                "frame {i} has invalid size {x}"
-            );
+        match Self::try_new(frames, label, acf_horizon) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validated constructor: rejects traces with fewer than 2 frames,
+    /// non-finite or negative entries, zero variance, or an `acf_horizon`
+    /// not shorter than the trace.
+    pub fn try_new(
+        frames: Vec<f64>,
+        label: impl Into<String>,
+        acf_horizon: usize,
+    ) -> Result<Self, SimError> {
+        let invalid = |message: String| SimError::InvalidTrace { message };
+        if frames.len() < 2 {
+            return Err(invalid("trace too short (need at least 2 frames)".into()));
+        }
+        if acf_horizon >= frames.len() {
+            return Err(invalid(format!(
+                "acf_horizon {acf_horizon} must be < trace length {}",
+                frames.len()
+            )));
+        }
+        if let Some((i, &x)) = frames
+            .iter()
+            .enumerate()
+            .find(|(_, x)| !(x.is_finite() && **x >= 0.0))
+        {
+            return Err(invalid(format!("frame {i} has invalid size {x}")));
         }
         let n = frames.len() as f64;
         let mean = frames.iter().sum::<f64>() / n;
         let variance = frames.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        assert!(variance > 0.0, "constant trace has no correlation structure");
+        if variance <= 0.0 {
+            return Err(invalid(
+                "constant trace has no correlation structure".into(),
+            ));
+        }
         let acf = sample_acf_fft(&frames, acf_horizon);
-        Self {
+        Ok(Self {
             frames: std::sync::Arc::new(frames),
             label: label.into(),
             mean,
@@ -66,28 +91,34 @@ impl TraceProcess {
             acf: std::sync::Arc::new(acf),
             position: 0,
             initialized: false,
-        }
+        })
     }
 
     /// Parses the one-number-per-line text format (blank lines and lines
     /// starting with `#` ignored).
-    pub fn parse(text: &str, label: impl Into<String>, acf_horizon: usize) -> Result<Self, String> {
+    pub fn parse(
+        text: &str,
+        label: impl Into<String>,
+        acf_horizon: usize,
+    ) -> Result<Self, SimError> {
         let mut frames = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let value: f64 = line
-                .parse()
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let value: f64 = line.parse().map_err(|e| SimError::InvalidTrace {
+                message: format!("line {}: {e}", lineno + 1),
+            })?;
             frames.push(value);
         }
         if frames.len() < 2 {
-            return Err("trace has fewer than 2 frames".into());
+            return Err(SimError::InvalidTrace {
+                message: "trace has fewer than 2 frames".into(),
+            });
         }
         let horizon = acf_horizon.min(frames.len() - 1);
-        Ok(Self::new(frames, label, horizon))
+        Self::try_new(frames, label, horizon)
     }
 
     /// Serializes to the text format.
@@ -221,7 +252,11 @@ mod tests {
     #[test]
     fn parse_reports_bad_lines() {
         let err = TraceProcess::parse("500\nnot-a-number\n", "x", 1).unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(
+            matches!(err, SimError::InvalidTrace { .. }),
+            "wrong variant: {err}"
+        );
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -26,27 +26,6 @@ impl Complex {
     /// The additive identity.
     pub const ZERO: Self = Self::new(0.0, 0.0);
 
-    /// Complex multiplication.
-    #[inline]
-    pub fn mul(self, other: Self) -> Self {
-        Self::new(
-            self.re * other.re - self.im * other.im,
-            self.re * other.im + self.im * other.re,
-        )
-    }
-
-    /// Complex addition.
-    #[inline]
-    pub fn add(self, other: Self) -> Self {
-        Self::new(self.re + other.re, self.im + other.im)
-    }
-
-    /// Complex subtraction.
-    #[inline]
-    pub fn sub(self, other: Self) -> Self {
-        Self::new(self.re - other.re, self.im - other.im)
-    }
-
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
@@ -63,6 +42,36 @@ impl Complex {
     #[inline]
     pub fn abs(self) -> f64 {
         self.norm_sqr().sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Self;
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        Self::new(self.re + other.re, self.im + other.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Self;
+
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        Self::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Self;
+
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        Self::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
     }
 }
 
@@ -117,10 +126,10 @@ fn transform(data: &mut [Complex], sign: f64) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let a = data[start + k];
-                let b = data[start + k + len / 2].mul(w);
-                data[start + k] = a.add(b);
-                data[start + k + len / 2] = a.sub(b);
-                w = w.mul(wlen);
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -232,14 +241,14 @@ mod tests {
         let mut fast = x.clone();
         fft(&mut fast);
         let n = x.len();
-        for k in 0..n {
+        for (k, f) in fast.iter().enumerate() {
             let mut acc = Complex::ZERO;
             for (j, &xj) in x.iter().enumerate() {
                 let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
-                acc = acc.add(xj.mul(Complex::new(ang.cos(), ang.sin())));
+                acc = acc + xj * Complex::new(ang.cos(), ang.sin());
             }
-            assert_close(fast[k].re, acc.re, 1e-9);
-            assert_close(fast[k].im, acc.im, 1e-9);
+            assert_close(f.re, acc.re, 1e-9);
+            assert_close(f.im, acc.im, 1e-9);
         }
     }
 

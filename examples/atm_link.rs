@@ -58,7 +58,7 @@ fn main() {
             }
 
             // Encode/decode one in every 1000 cells end to end (HEC check).
-            if offered % 1000 == 0 {
+            if offered.is_multiple_of(1000) {
                 let cell = Cell::new(header, [0xAB; PAYLOAD_SIZE]);
                 let bytes = cell.to_bytes();
                 let parsed = Cell::from_bytes(&bytes).expect("HEC must verify");

@@ -33,8 +33,8 @@ fn main() {
     let mut cfg = SimConfig::paper_defaults(buffers, scale.frames, scale.replications);
     cfg.seed = 61;
 
-    let g = simulate_clr(&gaussian, &cfg);
-    let nb = simulate_clr(&negbin, &cfg);
+    let g = simulate_clr(&gaussian, &cfg).expect("valid sim config");
+    let nb = simulate_clr(&negbin, &cfg).expect("valid sim config");
 
     println!(
         "{:>8} {:>14} {:>14} {:>8}",

@@ -88,10 +88,10 @@ fn main() {
     println!("\nsimulated CLR at a 2 ms buffer (quick scale):");
     let b_total = buffer_from_delay_ms(2.0, c, paper::TS) * n as f64;
     let cfg = SimConfig::paper_defaults(vec![b_total], 30_000, 6);
-    let z_sim = simulate_clr(&source, &cfg).per_buffer[0].pooled.clr();
+    let z_sim = simulate_clr(&source, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
     println!("  {:<14} {z_sim:.3e}", source.label());
     for (p, fit) in &fits {
-        let s = simulate_clr(fit, &cfg).per_buffer[0].pooled.clr();
+        let s = simulate_clr(fit, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
         println!("  DAR({p}) fit     {s:.3e}");
     }
     println!("\nTakeaway: the DAR fits, which ignore the LRD tail entirely,");

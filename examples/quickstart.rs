@@ -55,7 +55,7 @@ fn main() {
         scale.replications,
     );
     cfg.seed = 42;
-    let out = simulate_clr(&z, &cfg);
+    let out = simulate_clr(&z, &cfg).expect("valid sim config");
     let est = &out.per_buffer[0];
     println!(
         "simulated CLR over {} frames: {:.3e} (95% CI half-width {:.1e})",

@@ -17,8 +17,8 @@ fn simulation_bitwise_reproducible() {
         ts: 0.04,
         track_bop: true,
     };
-    let a = simulate_clr(&z, &cfg);
-    let b = simulate_clr(&z, &cfg);
+    let a = simulate_clr(&z, &cfg).expect("valid sim config");
+    let b = simulate_clr(&z, &cfg).expect("valid sim config");
     for (x, y) in a.per_buffer.iter().zip(&b.per_buffer) {
         assert_eq!(x.pooled, y.pooled, "pooled accounts must match bitwise");
         assert_eq!(x.clr.mean, y.clr.mean);
@@ -32,9 +32,9 @@ fn different_seeds_differ() {
     let mut cfg = SimConfig::paper_defaults(vec![100.0], 4_000, 3);
     cfg.n_sources = 5;
     cfg.capacity_per_source = 520.0;
-    let a = simulate_clr(&z, &cfg);
+    let a = simulate_clr(&z, &cfg).expect("valid sim config");
     cfg.seed ^= 1;
-    let b = simulate_clr(&z, &cfg);
+    let b = simulate_clr(&z, &cfg).expect("valid sim config");
     assert_ne!(
         a.per_buffer[0].pooled.offered,
         b.per_buffer[0].pooled.offered,
@@ -64,6 +64,67 @@ fn model_generation_reproducible_through_trait_objects() {
             assert_eq!(xa, xb, "{} frame {i}", proto.label());
         }
     }
+}
+
+/// The checkpoint/resume contract: a run killed after k replications and
+/// resumed from its checkpoint is **bit-identical** to an uninterrupted run —
+/// pooled accounts, CI endpoints and BOP curve all match to the last bit.
+///
+/// The "kill" is simulated faithfully: run the first k replications only
+/// (a config with `replications = k` — valid because replication r depends
+/// only on `(config, r)` via `root.split(r)`, and the checkpoint fingerprint
+/// deliberately excludes the replication count), keep the checkpoint it
+/// wrote, then resume with the full config against that file.
+#[test]
+fn checkpoint_resume_is_bit_identical() {
+    let dir = std::env::temp_dir().join("vbr_determinism_ckpt");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("resume.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let z = paper::build_z(0.9);
+    let mut cfg = SimConfig {
+        n_sources: 8,
+        capacity_per_source: 538.0,
+        buffers_total: vec![0.0, 400.0, 1500.0],
+        frames_per_replication: 6_000,
+        warmup_frames: 150,
+        replications: 6,
+        seed: 0xD00D,
+        ts: 0.04,
+        track_bop: true,
+    };
+
+    // Reference: uninterrupted run, no checkpointing at all.
+    let uninterrupted = simulate_clr(&z, &cfg).expect("valid sim config");
+
+    // Phase 1: "killed" after 3 of 6 replications.
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(&path)),
+        ..RunOptions::default()
+    };
+    cfg.replications = 3;
+    run(&z, &cfg, &opts).expect("first half");
+    assert!(path.exists(), "checkpoint must have been written");
+
+    // Phase 2: resume with the full request; only reps 3..6 are computed.
+    cfg.replications = 6;
+    let resumed = run(&z, &cfg, &opts).expect("resumed run");
+    assert_eq!(resumed.provenance.resumed, 3, "3 reps loaded from disk");
+    assert_eq!(resumed.provenance.completed, 6);
+    assert!(!resumed.provenance.is_partial());
+
+    for (a, b) in uninterrupted.per_buffer.iter().zip(&resumed.per_buffer) {
+        assert_eq!(
+            a.pooled, b.pooled,
+            "resumed pooled accounts must match uninterrupted bitwise"
+        );
+        assert_eq!(a.clr.mean.to_bits(), b.clr.mean.to_bits());
+        assert_eq!(a.clr.half_width.to_bits(), b.clr.half_width.to_bits());
+    }
+    assert_eq!(uninterrupted.bop, resumed.bop, "BOP curves must match");
+    assert_eq!(uninterrupted.frames_total, resumed.frames_total);
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -22,12 +22,13 @@ fn mixed_multiplexer_interpolates() {
     let mut cfg = SimConfig::paper_defaults(vec![b_total], scale.frames, scale.replications);
     cfg.seed = 1717;
 
-    let hom_z = simulate_clr(&z, &cfg).per_buffer[0].pooled.clr();
-    let hom_d = simulate_clr(&d, &cfg).per_buffer[0].pooled.clr();
-    let mix = SourceMix::new(vec![(&z as &dyn FrameProcess, 15), (&d as &dyn FrameProcess, 15)]);
+    let hom_z = simulate_clr(&z, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
+    let hom_d = simulate_clr(&d, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
+    let mix = SourceMix::new(vec![(&z as &dyn FrameProcess, 15), (&d as &dyn FrameProcess, 15)])
+        .expect("non-empty mix");
     assert_eq!(mix.total(), 30);
     assert!((mix.mean() - 15_000.0).abs() < 1e-6);
-    let mixed = simulate_clr_mix(&mix, &cfg).per_buffer[0].pooled.clr();
+    let mixed = simulate_clr_mix(&mix, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
 
     let lo = hom_d.min(hom_z);
     let hi = hom_d.max(hom_z);
@@ -48,8 +49,8 @@ fn negative_binomial_marginal_zero_buffer() {
         variance: 5000.0,
     });
     let cfg = SimConfig::paper_defaults(vec![0.0], 30_000, 4);
-    let g = simulate_clr(&gauss, &cfg).per_buffer[0].pooled.clr();
-    let nb = simulate_clr(&negbin, &cfg).per_buffer[0].pooled.clr();
+    let g = simulate_clr(&gauss, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
+    let nb = simulate_clr(&negbin, &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
     assert!(g > 0.0 && nb > 0.0);
     // NB has a heavier right tail: its loss should be >= Gaussian's, but at
     // N = 30 aggregated sources the CLT keeps them within a small factor.

@@ -1,0 +1,433 @@
+//! Fault-injection suite: every failure mode the runner can hit must come
+//! back as a typed [`SimError`] or a degraded-but-honest partial result —
+//! never a panic, never silently poisoned estimates.
+
+use lrd_video::prelude::*;
+use std::time::Duration;
+use vbr_sim::error::{CheckpointErrorKind, FaultSite};
+
+/// A model that emits a configurable bad value after `after` clean frames.
+#[derive(Debug, Clone)]
+struct FaultyModel {
+    after: u64,
+    emitted: u64,
+    bad: f64,
+}
+
+impl FaultyModel {
+    fn new(after: u64, bad: f64) -> Self {
+        Self {
+            after,
+            emitted: 0,
+            bad,
+        }
+    }
+}
+
+impl FrameProcess for FaultyModel {
+    fn next_frame(&mut self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.emitted += 1;
+        if self.emitted > self.after {
+            self.bad
+        } else {
+            100.0
+        }
+    }
+    fn mean(&self) -> f64 {
+        100.0
+    }
+    fn variance(&self) -> f64 {
+        1.0
+    }
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        let mut r = vec![0.0; max_lag + 1];
+        r[0] = 1.0;
+        r
+    }
+    fn reset(&mut self, _rng: &mut dyn rand::RngCore) {
+        self.emitted = 0;
+    }
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(self.clone())
+    }
+    fn label(&self) -> String {
+        "faulty".into()
+    }
+}
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        n_sources: 3,
+        capacity_per_source: 120.0,
+        buffers_total: vec![0.0, 50.0],
+        frames_per_replication: 2_000,
+        warmup_frames: 100,
+        replications: 3,
+        seed: 41,
+        ts: 0.04,
+        track_bop: false,
+    }
+}
+
+#[test]
+fn invalid_configs_come_back_typed() {
+    let proto = GaussianAr1::new(100.0, 10.0, 0.5);
+    let cases: Vec<(&str, SimConfig)> = vec![
+        ("n_sources", {
+            let mut c = small_config();
+            c.n_sources = 0;
+            c
+        }),
+        ("capacity_per_source", {
+            let mut c = small_config();
+            c.capacity_per_source = f64::NAN;
+            c
+        }),
+        ("buffers_total", {
+            let mut c = small_config();
+            c.buffers_total = vec![];
+            c
+        }),
+        ("buffers_total", {
+            let mut c = small_config();
+            c.buffers_total = vec![10.0, 10.0];
+            c
+        }),
+        ("buffers_total", {
+            let mut c = small_config();
+            c.buffers_total = vec![-5.0, 10.0];
+            c
+        }),
+        ("frames_per_replication", {
+            let mut c = small_config();
+            c.frames_per_replication = 0;
+            c
+        }),
+        ("warmup_frames", {
+            let mut c = small_config();
+            c.warmup_frames = c.frames_per_replication;
+            c
+        }),
+        ("replications", {
+            let mut c = small_config();
+            c.replications = 0;
+            c
+        }),
+        ("ts", {
+            let mut c = small_config();
+            c.ts = 0.0;
+            c
+        }),
+    ];
+    for (expect_field, cfg) in cases {
+        match simulate_clr(&proto, &cfg) {
+            Err(SimError::InvalidConfig { field, .. }) => {
+                assert_eq!(field, expect_field, "wrong field blamed");
+            }
+            Err(other) => panic!("expected InvalidConfig({expect_field}), got {other}"),
+            Ok(_) => panic!("config with bad {expect_field} must not run"),
+        }
+    }
+}
+
+#[test]
+fn nan_emitting_model_is_pinned_to_source_frame_and_seed() {
+    let cfg = small_config();
+    let proto = FaultyModel::new(500, f64::NAN);
+    match simulate_clr(&proto, &cfg) {
+        Err(SimError::NumericFault(f)) => {
+            assert!(f.value.is_nan());
+            assert!(matches!(f.site, FaultSite::Source(_)));
+            assert!(f.replication < cfg.replications);
+            assert!(f.frame >= 500 / cfg.n_sources as u64, "frame {}", f.frame);
+            assert_eq!(f.seed, cfg.seed, "fault must carry the root seed");
+        }
+        other => panic!("expected NumericFault, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_rate_model_is_a_numeric_fault_not_a_panic() {
+    let cfg = small_config();
+    let proto = FaultyModel::new(10, -42.0);
+    match simulate_clr(&proto, &cfg) {
+        Err(SimError::NumericFault(f)) => {
+            assert_eq!(f.value, -42.0);
+            assert!(matches!(f.site, FaultSite::Source(_)));
+        }
+        other => panic!("expected NumericFault, got {other:?}"),
+    }
+}
+
+#[test]
+fn infinite_rate_model_is_a_numeric_fault() {
+    let cfg = small_config();
+    let proto = FaultyModel::new(0, f64::INFINITY);
+    assert!(matches!(
+        simulate_clr(&proto, &cfg),
+        Err(SimError::NumericFault(_))
+    ));
+}
+
+#[test]
+fn truncated_checkpoint_is_detected() {
+    let dir = std::env::temp_dir().join("vbr_fault_injection");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("truncated.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let proto = GaussianAr1::new(100.0, 10.0, 0.5);
+    let cfg = small_config();
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(&path)),
+        ..RunOptions::default()
+    };
+    run(&proto, &cfg, &opts).expect("clean run");
+
+    // Simulate a writer that died mid-write: drop the trailer and the last
+    // record.
+    let body = std::fs::read_to_string(&path).expect("read checkpoint");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.last().expect("nonempty").starts_with("end "));
+    let cut = lines[..lines.len() - 2].join("\n");
+    std::fs::write(&path, cut).expect("write truncated");
+
+    match run(&proto, &cfg, &opts) {
+        Err(SimError::Checkpoint { kind, path: p }) => {
+            assert_eq!(kind, CheckpointErrorKind::Truncated);
+            assert_eq!(p, path);
+        }
+        other => panic!("expected Checkpoint(Truncated), got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_from_different_config_is_rejected() {
+    let dir = std::env::temp_dir().join("vbr_fault_injection");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("mismatch.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let proto = GaussianAr1::new(100.0, 10.0, 0.5);
+    let cfg = small_config();
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(&path)),
+        ..RunOptions::default()
+    };
+    run(&proto, &cfg, &opts).expect("clean run");
+
+    // Same file, different seed: the fingerprint must not match. Silently
+    // merging replications from another seed would corrupt the estimates.
+    let mut other_cfg = cfg.clone();
+    other_cfg.seed ^= 0xFF;
+    match run(&proto, &other_cfg, &opts) {
+        Err(SimError::Checkpoint {
+            kind: CheckpointErrorKind::ConfigMismatch { .. },
+            ..
+        }) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+    // But a change in `replications` alone is NOT a mismatch — a checkpoint
+    // is a valid prefix of a longer run.
+    let mut more_reps = cfg.clone();
+    more_reps.replications = 5;
+    let out = run(&proto, &more_reps, &opts).expect("prefix resume");
+    assert_eq!(out.provenance.resumed, 3);
+    assert_eq!(out.provenance.completed, 5);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn garbage_checkpoint_is_a_typed_error() {
+    let dir = std::env::temp_dir().join("vbr_fault_injection");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("garbage.ckpt");
+    std::fs::write(&path, "this is not a checkpoint\n").expect("write");
+
+    let proto = GaussianAr1::new(100.0, 10.0, 0.5);
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(&path)),
+        ..RunOptions::default()
+    };
+    match run(&proto, &small_config(), &opts) {
+        Err(SimError::Checkpoint {
+            kind: CheckpointErrorKind::BadHeader(_),
+            ..
+        }) => {}
+        other => panic!("expected BadHeader, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_bop_histogram_in_checkpoint_is_a_parse_error_not_a_panic() {
+    let dir = std::env::temp_dir().join("vbr_fault_injection");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad_bop.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let proto = GaussianAr1::new(100.0, 10.0, 0.5);
+    let mut cfg = small_config();
+    cfg.track_bop = true;
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(&path)),
+        ..RunOptions::default()
+    };
+    run(&proto, &cfg, &opts).expect("clean run");
+
+    // Flip one bucket count so the histogram no longer sums to its total.
+    let body = std::fs::read_to_string(&path).expect("read checkpoint");
+    let corrupted: Vec<String> = body
+        .lines()
+        .map(|l| {
+            if let Some(rest) = l.strip_prefix("bop ") {
+                let mut tok: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                let last = tok.last_mut().expect("bop line has buckets");
+                *last = (last.parse::<u64>().expect("bucket") + 1).to_string();
+                format!("bop {}", tok.join(" "))
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    std::fs::write(&path, corrupted.join("\n") + "\n").expect("write corrupted");
+
+    match run(&proto, &cfg, &opts) {
+        Err(SimError::Checkpoint {
+            kind: CheckpointErrorKind::Parse { message, .. },
+            ..
+        }) => assert!(message.contains("bop"), "{message}"),
+        other => panic!("expected Checkpoint(Parse), got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn watchdog_budget_yields_partial_result_with_honest_provenance() {
+    let proto = GaussianAr1::new(100.0, 10.0, 0.5);
+    let mut cfg = small_config();
+    cfg.replications = 8;
+    let opts = RunOptions {
+        threads: Some(1),
+        watchdog: Watchdog {
+            run_budget: Some(Duration::ZERO),
+            ..Watchdog::default()
+        },
+        ..RunOptions::default()
+    };
+    let out = run(&proto, &cfg, &opts).expect("degrades, does not error");
+    assert_eq!(out.provenance.requested, 8);
+    assert_eq!(
+        out.provenance.completed, 1,
+        "zero budget still completes the first replication"
+    );
+    assert!(out.provenance.is_partial());
+    assert!(out.provenance.budget_exhausted);
+    assert_eq!(
+        out.frames_total,
+        cfg.frames_per_replication as u64,
+        "frames_total must reflect completed work only"
+    );
+    // Estimates exist but are explicitly single-replication.
+    assert!(out.per_buffer[0].pooled.offered > 0.0);
+}
+
+/// A model whose every frame takes real wall time — lets the
+/// per-replication deadline fire deterministically.
+#[derive(Debug, Clone)]
+struct SlowModel;
+
+impl FrameProcess for SlowModel {
+    fn next_frame(&mut self, _rng: &mut dyn rand::RngCore) -> f64 {
+        std::thread::sleep(Duration::from_millis(1));
+        100.0
+    }
+    fn mean(&self) -> f64 {
+        100.0
+    }
+    fn variance(&self) -> f64 {
+        1.0
+    }
+    fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+        let mut r = vec![0.0; max_lag + 1];
+        r[0] = 1.0;
+        r
+    }
+    fn reset(&mut self, _rng: &mut dyn rand::RngCore) {}
+    fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+        Box::new(SlowModel)
+    }
+    fn label(&self) -> String {
+        "slow".into()
+    }
+}
+
+#[test]
+fn all_replications_timing_out_is_a_typed_error_not_a_hang() {
+    let mut cfg = small_config();
+    cfg.n_sources = 1;
+    cfg.warmup_frames = 0;
+    cfg.frames_per_replication = 100_000; // ~100 s of sleeps if not cut off
+    cfg.replications = 2;
+    let opts = RunOptions {
+        threads: Some(1),
+        watchdog: Watchdog {
+            replication_deadline: Some(Duration::from_millis(1)),
+            ..Watchdog::default()
+        },
+        ..RunOptions::default()
+    };
+    match run(&SlowModel, &cfg, &opts) {
+        Err(SimError::NoCompletedReplications {
+            requested,
+            timed_out,
+            ..
+        }) => {
+            assert_eq!(requested, 2);
+            assert_eq!(timed_out, 2);
+        }
+        other => panic!("expected NoCompletedReplications, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_source_mix_is_rejected() {
+    assert!(matches!(
+        SourceMix::new(vec![]),
+        Err(SimError::InvalidConfig { field: "mix", .. })
+    ));
+}
+
+#[test]
+fn mix_runner_propagates_numeric_faults() {
+    let clean = GaussianAr1::new(100.0, 10.0, 0.5);
+    let faulty = FaultyModel::new(200, f64::NAN);
+    let mix = SourceMix::new(vec![
+        (&clean as &dyn FrameProcess, 2),
+        (&faulty as &dyn FrameProcess, 1),
+    ])
+    .expect("non-empty mix");
+    let cfg = small_config();
+    match run_mix(&mix, &cfg, &RunOptions::default()) {
+        Err(SimError::NumericFault(f)) => {
+            assert_eq!(f.site, FaultSite::Source(2), "faulty copy is third");
+        }
+        other => panic!("expected NumericFault, got {other:?}"),
+    }
+}
+
+#[test]
+fn model_constructors_reject_bad_parameters_without_panicking() {
+    assert!(GaussianAr1::try_new(f64::NAN, 10.0, 0.5).is_err());
+    assert!(GaussianAr1::try_new(100.0, -1.0, 0.5).is_err());
+    assert!(GaussianAr1::try_new(100.0, 10.0, 1.5).is_err());
+    assert!(IidProcess::try_new(Marginal::Gaussian {
+        mean: f64::INFINITY,
+        sd: 1.0
+    })
+    .is_err());
+    assert!(DarProcess::try_new(DarParams::dar1(1.5, Marginal::paper_gaussian())).is_err());
+    let e = DarProcess::try_new(DarParams::dar1(-0.1, Marginal::paper_gaussian())).unwrap_err();
+    assert!(e.to_string().contains("rho"), "{e}");
+}

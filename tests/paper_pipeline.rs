@@ -24,7 +24,7 @@ fn zero_buffer_clr_anchor_across_model_families() {
     ];
     for m in models {
         let cfg = SimConfig::paper_defaults(vec![0.0], 40_000, 4);
-        let clr = simulate_clr(m.as_ref(), &cfg).per_buffer[0].pooled.clr();
+        let clr = simulate_clr(m.as_ref(), &cfg).expect("valid sim config").per_buffer[0].pooled.clr();
         assert!(
             clr > expected / 3.0 && clr < expected * 3.0,
             "{}: zero-buffer CLR {clr:e} vs analytic {expected:e}",
@@ -47,14 +47,14 @@ fn short_term_correlations_dominate_simulated_clr() {
         .iter()
         .map(|&v| {
             let m = paper::build_v(v);
-            experiments::sim_clr_series(&m, &grid, scale).points[0].1
+            experiments::sim_clr_series(&m, &grid, scale).expect("valid sim config").points[0].1
         })
         .collect();
     let z_clrs: Vec<f64> = [0.7, 0.99]
         .iter()
         .map(|&a| {
             let m = paper::build_z(a);
-            experiments::sim_clr_series(&m, &grid, scale).points[0].1
+            experiments::sim_clr_series(&m, &grid, scale).expect("valid sim config").points[0].1
         })
         .collect();
 
@@ -86,13 +86,13 @@ fn dar_fits_track_lrd_source_clr() {
         replications: 4,
     };
     let z = paper::build_z(0.7);
-    let z_clr = experiments::sim_clr_series(&z, &grid, scale).points[0].1;
+    let z_clr = experiments::sim_clr_series(&z, &grid, scale).expect("valid sim config").points[0].1;
     assert!(z_clr > 0.0, "need measurable loss at 2 ms");
 
     let mut errors = Vec::new();
     for p in [1usize, 3] {
         let s = paper::build_s(0.7, p);
-        let s_clr = experiments::sim_clr_series(&s, &grid, scale).points[0].1;
+        let s_clr = experiments::sim_clr_series(&s, &grid, scale).expect("valid sim config").points[0].1;
         assert!(s_clr > 0.0, "DAR({p}) must lose too");
         errors.push((z_clr.ln() - s_clr.ln()).abs());
     }
@@ -143,18 +143,18 @@ fn asymptotics_bound_simulation_fig10_shape() {
             frames: 20_000,
             replications: 4,
         },
-    );
+    )
+    .expect("valid sim config");
     let br = &series[0];
     let large_n = &series[1];
     let sim = &series[2];
-    for i in 0..grid.len() {
+    for (i, &ms) in grid.iter().enumerate() {
         let (b, l, s) = (br.points[i].1, large_n.points[i].1, sim.points[i].1);
         assert!(b < l, "B-R {b:e} must be tighter than large-N {l:e}");
         if s > 0.0 {
             assert!(
                 b > s / 3.0,
-                "asymptotic {b:e} should not undershoot simulation {s:e} at {} ms",
-                grid[i]
+                "asymptotic {b:e} should not undershoot simulation {s:e} at {ms} ms"
             );
         }
     }

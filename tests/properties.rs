@@ -27,7 +27,7 @@ proptest! {
         for &x in &arrivals {
             let lost = q.offer(x);
             let w = q.workload();
-            prop_assert!((0.0..=buffer + 1e-9).contains(&w), "workload {w} out of [0,{buffer}]");
+            prop_assert!((0.0..=buffer + 1e-9).contains(&w), "workload {} out of [0,{}]", w, buffer);
             prop_assert!(lost >= 0.0);
             if lost > 0.0 {
                 prop_assert!((w - buffer).abs() < 1e-9, "loss only at full buffer");
@@ -116,7 +116,7 @@ proptest! {
         let xd = solve_dense(&dense, &rhs, n);
         prop_assert!(xt.is_some() && xd.is_some());
         for (a, b) in xt.unwrap().iter().zip(xd.unwrap()) {
-            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
         }
     }
 
@@ -242,7 +242,7 @@ proptest! {
         // Effective sample size shrinks by (1+rho)/(1-rho); bound at 5 sigma.
         let ess = n as f64 * (1.0 - rho) / (1.0 + rho);
         let tol = 5.0 * 10.0 / ess.sqrt();
-        prop_assert!((mean - 100.0).abs() < tol, "mean {mean} (tol {tol})");
+        prop_assert!((mean - 100.0).abs() < tol, "mean {} (tol {})", mean, tol);
     }
 }
 
@@ -370,7 +370,7 @@ proptest! {
                 break;
             }
             let q = r[k] / r[k - 1];
-            prop_assert!((q - q1).abs() < 1e-6 * q1.max(1e-6), "geometric ratio breaks at {k}");
+            prop_assert!((q - q1).abs() < 1e-6 * q1.max(1e-6), "geometric ratio breaks at {}", k);
         }
     }
 

@@ -1,0 +1,152 @@
+//! Minimal offline stand-in for `criterion` 0.5 covering the API used by
+//! this workspace's `perf` bench: groups, throughput, `iter`,
+//! `iter_batched`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs a handful of timed iterations and prints a
+//! nanoseconds-per-iteration line.
+
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.samples, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        total_nanos: 0.0,
+        total_iters: 0,
+        samples,
+    };
+    f(&mut b);
+    let per_iter = if b.total_iters > 0 {
+        b.total_nanos / b.total_iters as f64
+    } else {
+        0.0
+    };
+    println!("bench {label}: {per_iter:.1} ns/iter ({} iters)", b.total_iters);
+}
+
+pub struct Bencher {
+    total_nanos: f64,
+    total_iters: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = (self.samples as u64).max(1) * 10;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos() as f64;
+        self.total_iters += iters;
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let iters = (self.samples as u64).max(1);
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos() as f64;
+            self.total_iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,239 @@
+//! Minimal offline stand-in for `rand` 0.8.5 covering the API surface this
+//! workspace uses: `RngCore`, `SeedableRng`, `Rng::{gen, gen_range}`,
+//! `rand::Error`. Sampling semantics (53-bit `f64`, Lemire-with-rejection
+//! integer ranges) match rand 0.8.5 bit-for-bit so seeded runs agree with
+//! the real crate.
+
+use core::fmt;
+
+pub struct Error;
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rand::Error")
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rand::Error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<'a, R: RngCore + ?Sized> RngCore for &'a mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+    fn from_seed(seed: Self::Seed) -> Self;
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, as in rand 0.8.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types samplable from the "Standard" distribution.
+    pub trait StandardSample: Sized {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        #[inline]
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // rand 0.8 "Standard" f64: top 53 bits scaled into [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        #[inline]
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardSample for u32 {
+        #[inline]
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for u64 {
+        #[inline]
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for bool {
+        #[inline]
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // rand 0.8: high bit of a u32 draw.
+            rng.next_u32() & (1 << 31) != 0
+        }
+    }
+
+    /// Ranges usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    #[inline]
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let t = (a as u128) * (b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+
+    #[inline]
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let t = (a as u64) * (b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+
+    // rand 0.8.5 UniformInt::sample_single_inclusive, 64-bit large type.
+    #[inline]
+    fn sample_inclusive_u64<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+        let range = high.wrapping_sub(low).wrapping_add(1);
+        if range == 0 {
+            return rng.next_u64();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = wmul64(v, range);
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+
+    // rand 0.8.5 UniformInt::sample_single_inclusive, 32-bit large type
+    // (u8/u16/u32 use a u32 draw).
+    #[inline]
+    fn sample_inclusive_u32<R: RngCore + ?Sized>(low: u32, high: u32, rng: &mut R) -> u32 {
+        let range = high.wrapping_sub(low).wrapping_add(1);
+        if range == 0 {
+            return rng.next_u32();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let (hi, lo) = wmul32(v, range);
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+
+    macro_rules! range_impl_64 {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    sample_inclusive_u64(self.start as u64, self.end as u64 - 1, rng) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    sample_inclusive_u64(*self.start() as u64, *self.end() as u64, rng) as $t
+                }
+            }
+        )*};
+    }
+    range_impl_64!(u64, usize);
+
+    macro_rules! range_impl_32 {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    sample_inclusive_u32(self.start as u32, self.end as u32 - 1, rng) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    sample_inclusive_u32(*self.start() as u32, *self.end() as u32, rng) as $t
+                }
+            }
+        )*};
+    }
+    range_impl_32!(u8, u16, u32);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range in gen_range");
+            let u = f64::sample_standard(rng);
+            self.start + (self.end - self.start) * u
+        }
+    }
+}
+
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: distributions::StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: distributions::SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

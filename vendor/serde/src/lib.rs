@@ -1,0 +1,7 @@
+//! Minimal offline stand-in for `serde` with the `derive` feature: the
+//! `Serialize` trait plus a no-op derive macro.
+
+pub trait Serialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

@@ -1,0 +1,8 @@
+//! No-op `#[derive(Serialize)]` companion for the offline serde stub.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
