@@ -7,7 +7,7 @@ use vbr_asymptotics::cts::critical_time_scale_with;
 use vbr_asymptotics::{SourceStats, VarianceFunction};
 use vbr_core::matching::fit_dar;
 use vbr_core::paper;
-use vbr_models::{FgnGenerator, FrameProcess, Marginal};
+use vbr_models::{CirculantScratch, FgnGenerator, FrameProcess, Marginal};
 use vbr_sim::{CellMultiplexer, FluidQueue};
 use vbr_stats::rng::Xoshiro256PlusPlus;
 
@@ -38,6 +38,73 @@ fn generator_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(16_384));
     group.bench_function("davies_harte_block_16k", |b| {
         b.iter(|| gen.generate(&mut rng));
+    });
+    group.bench_function("davies_harte_block_16k_into", |b| {
+        let mut scratch = CirculantScratch::new();
+        let mut out = vec![0.0_f64; 16_384];
+        b.iter(|| gen.generate_into(&mut rng, &mut scratch, &mut out));
+    });
+    group.finish();
+}
+
+/// Batched vs scalar generation (`fill_frames` vs `next_frame`) for the
+/// models the pipeline batches — the per-model half of the ISSUE 3 speedup.
+fn batched_generation(c: &mut Criterion) {
+    const FRAMES: usize = 4_096;
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(3);
+    let mut buf = vec![0.0_f64; FRAMES];
+
+    let mut group = c.benchmark_group("batched_generation");
+    group.throughput(Throughput::Elements(FRAMES as u64));
+
+    let mut fgn = vbr_models::FgnProcess::new(500.0, 70.0, 0.9, 1.0, 16_384);
+    group.bench_function("fgn_scalar_4k", |b| {
+        b.iter(|| (0..FRAMES).map(|_| fgn.next_frame(&mut rng)).sum::<f64>());
+    });
+    group.bench_function("fgn_batched_4k", |b| {
+        b.iter(|| fgn.fill_frames(&mut buf, &mut rng));
+    });
+
+    let mut z = paper::build_z(0.975);
+    group.bench_function("z_scalar_4k", |b| {
+        b.iter(|| (0..FRAMES).map(|_| z.next_frame(&mut rng)).sum::<f64>());
+    });
+    group.bench_function("z_batched_4k", |b| {
+        b.iter(|| z.fill_frames(&mut buf, &mut rng));
+    });
+
+    let mut ar = vbr_models::GaussianAr1::new(500.0, 70.0, 0.8);
+    group.bench_function("ar1_batched_4k", |b| {
+        b.iter(|| ar.fill_frames(&mut buf, &mut rng));
+    });
+    group.finish();
+}
+
+/// A small end-to-end replication through the batched runner hot loop —
+/// the whole-pipeline half of the ISSUE 3 speedup, sized for criterion.
+fn e2e_replication(c: &mut Criterion) {
+    use vbr_sim::{run, RunOptions, SimConfig};
+    let proto = vbr_models::FgnProcess::new(500.0, 70.0, 0.9, 1.0, 1 << 14);
+    let cfg = SimConfig {
+        n_sources: 10,
+        capacity_per_source: 538.0,
+        buffers_total: vec![0.0, 1000.0, 8000.0],
+        frames_per_replication: 20_000,
+        warmup_frames: 1_000,
+        replications: 1,
+        seed: 0xBEEF,
+        ts: 0.04,
+        track_bop: false,
+    };
+    let opts = RunOptions {
+        threads: Some(1),
+        ..RunOptions::default()
+    };
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cfg.frames_per_replication as u64));
+    group.bench_function("replication_fgn_n10_20k", |b| {
+        b.iter(|| run(&proto, &cfg, &opts).expect("bench run"));
     });
     group.finish();
 }
@@ -107,6 +174,6 @@ fn analysis_cost(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = generator_throughput, queue_ablation, analysis_cost
+    targets = generator_throughput, batched_generation, e2e_replication, queue_ablation, analysis_cost
 }
 criterion_main!(benches);

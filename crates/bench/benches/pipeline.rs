@@ -1,0 +1,162 @@
+//! End-to-end pipeline benchmark (`BENCH_3.json`): N = 30 FGN sources,
+//! 10⁵ frames per replication, single worker thread — the replication
+//! workload whose serial inner loop ISSUE 3 batches (planned FFT, shared
+//! circulant spectra, block-wise superposition, batched queue sweep).
+//!
+//! Run with `cargo bench -p vbr-bench --bench pipeline`. Set
+//! `VBR_PIPELINE_BASELINE=<seconds>` to record a pre-change baseline
+//! measurement (same machine, same config) in the emitted JSON so the
+//! speedup is part of the artifact. Output goes to
+//! `paper_output/BENCH_3.json` (override the directory with `VBR_OUT`).
+
+use std::time::Instant;
+use vbr_models::{FgnProcess, FrameProcess};
+use vbr_sim::{run, RunOptions, SimConfig};
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+fn e2e_config() -> SimConfig {
+    SimConfig {
+        n_sources: 30,
+        capacity_per_source: 538.0,
+        buffers_total: vec![
+            0.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0, 32000.0,
+        ],
+        frames_per_replication: 100_000,
+        warmup_frames: 5_000,
+        replications: 2,
+        seed: 0xBEEF_CAFE,
+        ts: 0.04,
+        track_bop: false,
+    }
+}
+
+/// Best-of-`reps` wall time for `f`, returning (best, all runs).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> (f64, Vec<f64>) {
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        runs.push(t0.elapsed().as_secs_f64());
+    }
+    let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
+    (best, runs)
+}
+
+/// Frames/second for one model, scalar (`next_frame`) vs batched
+/// (`fill_frames` in 4096-frame blocks), over `frames` total frames.
+fn throughput_pair(proto: &dyn FrameProcess, frames: usize) -> (f64, f64) {
+    let mut scalar = proto.boxed_clone();
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(7);
+    scalar.reset(&mut rng);
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..frames {
+        acc += scalar.next_frame(&mut rng);
+    }
+    let scalar_fps = frames as f64 / t0.elapsed().as_secs_f64();
+
+    let mut batched = proto.boxed_clone();
+    let mut rng = Xoshiro256PlusPlus::from_seed_u64(7);
+    batched.reset(&mut rng);
+    let mut buf = vec![0.0_f64; 4096];
+    let t0 = Instant::now();
+    let mut done = 0;
+    while done < frames {
+        let take = buf.len().min(frames - done);
+        batched.fill_frames(&mut buf[..take], &mut rng);
+        acc += buf[0];
+        done += take;
+    }
+    let batched_fps = frames as f64 / t0.elapsed().as_secs_f64();
+    // keep `acc` alive so the generation loops can't be optimised away
+    assert!(acc.is_finite());
+    (scalar_fps, batched_fps)
+}
+
+fn main() {
+    vbr_bench::preamble(
+        "pipeline benchmark: end-to-end replication (N = 30 FGN, 1e5 frames)",
+        "single-thread wall time, best of 3 runs",
+    );
+    let proto = FgnProcess::new(500.0, 5000.0_f64.sqrt(), 0.9, 1.0, 1 << 18);
+    let cfg = e2e_config();
+    let opts = RunOptions {
+        threads: Some(1),
+        ..RunOptions::default()
+    };
+
+    let mut clr0 = 0.0;
+    let (best, runs) = best_of(3, || {
+        let out = run(&proto, &cfg, &opts).expect("benchmark run");
+        clr0 = out.per_buffer[0].pooled.clr();
+    });
+    for (i, dt) in runs.iter().enumerate() {
+        println!("run {i}: {dt:.3} s (clr[0] = {clr0:.3e})");
+    }
+    println!("best of 3: {best:.3} s");
+
+    let baseline = std::env::var("VBR_PIPELINE_BASELINE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok());
+    if let Some(b) = baseline {
+        println!("baseline: {b:.3} s  -> speedup {:.2}x", b / best);
+    } else {
+        println!("(set VBR_PIPELINE_BASELINE=<seconds> to record the speedup in BENCH_3.json)");
+    }
+
+    // Generator throughput: scalar vs batched for the models the figures use.
+    println!("\ngenerator throughput (frames/s), scalar next_frame vs fill_frames:");
+    let models: Vec<(&str, Box<dyn FrameProcess>)> = vec![
+        (
+            "fgn_h0.9_block256k",
+            Box::new(FgnProcess::new(500.0, 5000.0_f64.sqrt(), 0.9, 1.0, 1 << 18)),
+        ),
+        (
+            "farima_h0.9_block64k",
+            Box::new(vbr_models::FarimaProcess::from_hurst(
+                500.0,
+                5000.0_f64.sqrt(),
+                0.9,
+                1 << 16,
+            )),
+        ),
+        ("z_0.975(fbndp+dar)", Box::new(vbr_core::paper::build_z(0.975))),
+        ("ar1_phi0.8", Box::new(vbr_models::GaussianAr1::new(500.0, 70.0, 0.8))),
+    ];
+    let mut tp_json = Vec::new();
+    for (name, m) in &models {
+        let (s, b) = throughput_pair(m.as_ref(), 400_000);
+        println!("  {name:>22}: {s:>12.0} -> {b:>12.0}  ({:.2}x)", b / s);
+        tp_json.push(format!(
+            "    {{\"model\": \"{name}\", \"scalar_fps\": {s:.1}, \"batched_fps\": {b:.1}}}"
+        ));
+    }
+
+    // Handcrafted JSON (no serde_json in-tree): the artifact EXPERIMENTS.md
+    // points at for the ISSUE 3 acceptance criterion.
+    let speedup_field = match baseline {
+        Some(b) => format!(
+            "  \"baseline_seconds\": {b:.3},\n  \"speedup\": {:.3},\n",
+            b / best
+        ),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_3\",\n  \"description\": \"e2e replication: N=30 FGN (H=0.9, block 2^18), 1e5 frames/rep, 2 reps, 8 buffers, 1 thread\",\n  \"runs_seconds\": [{}],\n  \"best_seconds\": {best:.3},\n{speedup_field}  \"clr_buffer0\": {clr0:.6e},\n  \"generator_throughput\": [\n{}\n  ]\n}}\n",
+        runs.iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        tp_json.join(",\n"),
+    );
+    match vbr_bench::ensure_out_dir() {
+        Ok(dir) => {
+            let path = dir.join("BENCH_3.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!("[json written to {}]", path.display()),
+                Err(e) => eprintln!("[BENCH_3.json not written: {e}]"),
+            }
+        }
+        Err(e) => eprintln!("[output dir unavailable: {e}]"),
+    }
+}

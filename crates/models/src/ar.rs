@@ -75,6 +75,29 @@ impl FrameProcess for GaussianAr1 {
         self.state
     }
 
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        if out.is_empty() {
+            return;
+        }
+        let mut filled = 0;
+        if !self.initialized {
+            out[0] = self.next_frame(rng);
+            filled = 1;
+        }
+        let (mean, phi) = (self.mean, self.phi);
+        let innovation_sd = self.sd * (1.0 - phi * phi).sqrt();
+        let mut state = self.state;
+        for slot in out[filled..].iter_mut() {
+            // A fresh sampler per frame, like the scalar path: its polar
+            // spare deviate is discarded, so hoisting the sampler here
+            // would change the draw sequence.
+            let mut nrm = Normal::new(0.0, 1.0);
+            state = mean + phi * (state - mean) + innovation_sd * nrm.standard(rng);
+            *slot = state;
+        }
+        self.state = state;
+    }
+
     fn mean(&self) -> f64 {
         self.mean
     }

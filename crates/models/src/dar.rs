@@ -194,6 +194,28 @@ impl FrameProcess for DarProcess {
         value
     }
 
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        if out.is_empty() {
+            return;
+        }
+        // Same draws as the scalar loop; the win is hoisting the lazy-init
+        // check and the parameter loads out of the per-frame path.
+        self.ensure_init(rng);
+        let rho = self.params.rho;
+        let p = self.history.len();
+        for slot in out.iter_mut() {
+            let value = if rng.gen::<f64>() < rho {
+                let lag = self.alias.sample(rng) + 1;
+                self.history[p - lag]
+            } else {
+                self.params.marginal.sample(rng)
+            };
+            self.history.pop_front();
+            self.history.push_back(value);
+            *slot = value;
+        }
+    }
+
     fn mean(&self) -> f64 {
         self.params.marginal.mean()
     }

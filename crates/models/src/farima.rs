@@ -17,7 +17,7 @@
 //! so paths are exact in distribution within a block.
 
 use crate::error::ModelError;
-use crate::fgn::CirculantGenerator;
+use crate::fgn::{cached_circulant, CirculantGenerator, CirculantScratch, FAMILY_FARIMA};
 use crate::traits::FrameProcess;
 use rand::RngCore;
 
@@ -47,6 +47,7 @@ pub struct FarimaProcess {
     acf_cache_lag: usize,
     buffer: Vec<f64>,
     pos: usize,
+    scratch: CirculantScratch,
 }
 
 impl FarimaProcess {
@@ -75,15 +76,20 @@ impl FarimaProcess {
         if !(d > 0.0 && d < 0.5) {
             return Err(invalid(format!("d must be in (0, 0.5), got {d}")));
         }
-        let acf = farima_acf(d, block_len);
+        // Spectra depend only on (d, block_len); share them process-wide
+        // so per-source clones and repeated sweeps reuse one setup FFT.
+        let generator = cached_circulant((FAMILY_FARIMA, d.to_bits(), 0, block_len), || {
+            CirculantGenerator::from_autocovariance(&farima_acf(d, block_len))
+        });
         Ok(Self {
             d,
             mean,
             sd,
-            generator: CirculantGenerator::from_autocovariance(&acf),
+            generator,
             acf_cache_lag: block_len,
             buffer: Vec::new(),
             pos: 0,
+            scratch: CirculantScratch::new(),
         })
     }
 
@@ -102,17 +108,44 @@ impl FarimaProcess {
     pub fn hurst(&self) -> f64 {
         self.d + 0.5
     }
+
+    /// Regenerates the serving buffer in place (no allocation in steady
+    /// state) and rewinds the cursor.
+    fn refill(&mut self, rng: &mut dyn RngCore) {
+        self.buffer.resize(self.generator.block_len(), 0.0);
+        self.generator
+            .generate_into(rng, &mut self.scratch, &mut self.buffer);
+        self.pos = 0;
+    }
 }
 
 impl FrameProcess for FarimaProcess {
     fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64 {
         if self.pos >= self.buffer.len() {
-            self.buffer = self.generator.generate(rng);
-            self.pos = 0;
+            self.refill(rng);
         }
         let z = self.buffer[self.pos];
         self.pos += 1;
         self.mean + self.sd * z
+    }
+
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.pos >= self.buffer.len() {
+                self.refill(rng);
+            }
+            let take = (out.len() - filled).min(self.buffer.len() - self.pos);
+            let (mean, sd) = (self.mean, self.sd);
+            for (o, &z) in out[filled..filled + take]
+                .iter_mut()
+                .zip(&self.buffer[self.pos..self.pos + take])
+            {
+                *o = mean + sd * z;
+            }
+            self.pos += take;
+            filled += take;
+        }
     }
 
     fn mean(&self) -> f64 {
@@ -131,6 +164,7 @@ impl FrameProcess for FarimaProcess {
     fn reset(&mut self, _rng: &mut dyn RngCore) {
         self.buffer.clear();
         self.pos = 0;
+        self.scratch.reset();
     }
 
     fn boxed_clone(&self) -> Box<dyn FrameProcess> {

@@ -186,6 +186,24 @@ impl FrameProcess for Fbndp {
         Poisson::new(conditional_mean).sample(rng) as f64
     }
 
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        // Same draws frame by frame (ON/OFF advances, then one Poisson
+        // variate); the batch form just hoists the parameter loads.
+        let (ts, r) = (self.params.ts, self.params.r);
+        for slot in out.iter_mut() {
+            let mut on_total = 0.0;
+            for p in &mut self.processes {
+                on_total += p.on_time(ts, rng);
+            }
+            let conditional_mean = r * on_total;
+            *slot = if conditional_mean == 0.0 {
+                0.0
+            } else {
+                Poisson::new(conditional_mean).sample(rng) as f64
+            };
+        }
+    }
+
     fn mean(&self) -> f64 {
         self.params.frame_mean()
     }

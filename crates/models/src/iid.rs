@@ -39,6 +39,12 @@ impl FrameProcess for IidProcess {
         self.marginal.sample(rng)
     }
 
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        for slot in out.iter_mut() {
+            *slot = self.marginal.sample(rng);
+        }
+    }
+
     fn mean(&self) -> f64 {
         self.marginal.mean()
     }

@@ -61,7 +61,7 @@ pub use dar::{DarParams, DarProcess};
 pub use error::ModelError;
 pub use farima::{farima_acf, FarimaProcess};
 pub use fbndp::{Fbndp, FbndpParams};
-pub use fgn::{CirculantGenerator, FgnGenerator, FgnProcess};
+pub use fgn::{CirculantGenerator, CirculantScratch, FgnGenerator, FgnProcess};
 pub use iid::IidProcess;
 pub use marginal::Marginal;
 pub use markov_onoff::{MarkovOnOff, MarkovOnOffParams};

@@ -68,6 +68,18 @@ impl FrameProcess for Superposition {
         self.x.next_frame(rng) + self.y.next_frame(rng)
     }
 
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        // Both components draw from the same shared RNG stream, strictly
+        // interleaved x-then-y per frame. Letting each child fill a whole
+        // scratch slice would reorder those draws and break bit-identity
+        // with the scalar path, so the batch form keeps the per-frame
+        // interleave and only removes the outer `Superposition::next_frame`
+        // dispatch hop.
+        for slot in out.iter_mut() {
+            *slot = self.x.next_frame(rng) + self.y.next_frame(rng);
+        }
+    }
+
     fn mean(&self) -> f64 {
         self.x.mean() + self.y.mean()
     }

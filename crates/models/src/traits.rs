@@ -30,6 +30,26 @@ pub trait FrameProcess: Send {
     /// Draws the next frame size along the sample path.
     fn next_frame(&mut self, rng: &mut dyn RngCore) -> f64;
 
+    /// Fills `out` with the next `out.len()` consecutive frame sizes.
+    ///
+    /// Semantically this is exactly `for slot in out { *slot =
+    /// self.next_frame(rng) }` — implementations may override it only to
+    /// hoist per-frame overhead (block-buffer copies, lazy-init checks,
+    /// parameter loads), never to change the draw sequence: the output
+    /// *and* the RNG stream position must stay bit-identical to the scalar
+    /// loop. The batched simulation runner and the cross-model determinism
+    /// suite both rely on this equivalence.
+    ///
+    /// Note the default itself already removes the per-frame virtual
+    /// dispatch: when called through `dyn FrameProcess`, the one virtual
+    /// `fill_frames` call runs a monomorphized loop whose `next_frame`
+    /// calls are statically dispatched (and typically inlined).
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        for slot in out.iter_mut() {
+            *slot = self.next_frame(rng);
+        }
+    }
+
     /// Stationary mean frame size (cells/frame).
     fn mean(&self) -> f64;
 

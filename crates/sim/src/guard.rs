@@ -42,10 +42,22 @@ impl Guard {
         self.frame += 1;
     }
 
+    /// Advances the frame counter by a whole batch of frames.
+    pub fn advance_by(&mut self, frames: u64) {
+        self.frame += frames;
+    }
+
     fn fault(&self, value: f64, site: FaultSite) -> SimError {
+        self.fault_at(0, value, site)
+    }
+
+    /// Builds a fault `offset` frames past the guard's current frame — used
+    /// by the batch checks, where the guard's counter points at the first
+    /// frame of the batch.
+    fn fault_at(&self, offset: u64, value: f64, site: FaultSite) -> SimError {
         SimError::NumericFault(NumericFault {
             replication: self.replication,
-            frame: self.frame,
+            frame: self.frame + offset,
             seed: self.seed,
             value,
             site,
@@ -67,6 +79,31 @@ impl Guard {
     #[inline]
     pub fn check_source(&self, source: usize, value: f64) -> Result<f64, SimError> {
         self.check(value, FaultSite::Source(source))
+    }
+
+    /// Validates one source's output `offset` frames into the current batch.
+    #[inline]
+    pub fn check_source_at(&self, offset: u64, source: usize, value: f64) -> Result<f64, SimError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(value)
+        } else {
+            Err(self.fault_at(offset, value, FaultSite::Source(source)))
+        }
+    }
+
+    /// Validates a batch of per-frame values produced at `site`, attributing
+    /// the first bad value to its exact frame (`self.frame() + index`).
+    ///
+    /// This is the per-batch form of calling [`check`](Self::check) once per
+    /// frame: the fault carries the same site, value and frame index, only
+    /// the scan happens after the whole batch is produced.
+    pub fn check_batch(&self, values: &[f64], site: FaultSite) -> Result<(), SimError> {
+        for (i, &v) in values.iter().enumerate() {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(self.fault_at(i as u64, v, site));
+            }
+        }
+        Ok(())
     }
 
     /// Validates queue state (workload and loss account) after an offer.
@@ -205,6 +242,37 @@ mod tests {
                 assert_eq!(f.site, FaultSite::Source(1));
                 assert_eq!(f.frame, 4, "fault on the fifth frame (index 4)");
                 assert!(f.value.is_nan());
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_batch_attributes_exact_frame() {
+        let mut g = Guard::new(1, 7);
+        g.advance_by(100);
+        let values = [1.0, 2.0, f64::NAN, 3.0];
+        match g.check_batch(&values, FaultSite::Aggregate).unwrap_err() {
+            SimError::NumericFault(f) => {
+                assert_eq!(f.frame, 102, "fault lands on batch base + offset");
+                assert_eq!(f.site, FaultSite::Aggregate);
+                assert!(f.value.is_nan());
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(g.check_batch(&[0.0, 1.0], FaultSite::Aggregate).is_ok());
+    }
+
+    #[test]
+    fn check_source_at_matches_scalar_check() {
+        let mut g = Guard::new(2, 11);
+        g.advance_by(40);
+        assert_eq!(g.check_source_at(3, 5, 9.0).unwrap(), 9.0);
+        match g.check_source_at(3, 5, -1.0).unwrap_err() {
+            SimError::NumericFault(f) => {
+                assert_eq!(f.frame, 43);
+                assert_eq!(f.site, FaultSite::Source(5));
+                assert_eq!(f.value, -1.0);
             }
             other => panic!("wrong error {other:?}"),
         }

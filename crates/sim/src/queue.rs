@@ -96,6 +96,75 @@ impl FluidQueue {
         }
     }
 
+    /// Offers a whole batch of per-frame aggregate arrivals.
+    ///
+    /// Exactly equivalent to calling [`offer`](Self::offer) once per frame
+    /// in order (same floating-point operations, same accumulation order,
+    /// bit-identical workload and account) — the batch form keeps the
+    /// queue's recursion state in registers across the batch instead of
+    /// round-tripping through memory and the per-frame buffer `match`.
+    pub fn offer_batch(&mut self, arrivals: &[f64]) {
+        let cap = self.capacity;
+        let mut offered = self.account.offered;
+        let mut w = self.workload;
+        match self.buffer {
+            Some(b) => {
+                let mut lost = self.account.lost;
+                for &x in arrivals {
+                    debug_assert!(x >= 0.0, "negative arrivals {x}");
+                    offered += x;
+                    let unconstrained = (w + x - cap).max(0.0);
+                    lost += (unconstrained - b).max(0.0);
+                    w = unconstrained.min(b);
+                }
+                self.account.lost = lost;
+            }
+            None => {
+                for &x in arrivals {
+                    debug_assert!(x >= 0.0, "negative arrivals {x}");
+                    offered += x;
+                    w = (w + x - cap).max(0.0);
+                }
+            }
+        }
+        self.workload = w;
+        self.account.offered = offered;
+    }
+
+    /// Offers a batch and records every post-offer workload in `est` — the
+    /// batched form of alternating `offer` / `BopEstimator::observe` per
+    /// frame on an infinite-buffer queue (finite buffers work too; the
+    /// clamped workload is observed, as the scalar interleave would).
+    pub fn offer_batch_observing(&mut self, arrivals: &[f64], est: &mut BopEstimator) {
+        let cap = self.capacity;
+        let mut offered = self.account.offered;
+        let mut w = self.workload;
+        match self.buffer {
+            Some(b) => {
+                let mut lost = self.account.lost;
+                for &x in arrivals {
+                    debug_assert!(x >= 0.0, "negative arrivals {x}");
+                    offered += x;
+                    let unconstrained = (w + x - cap).max(0.0);
+                    lost += (unconstrained - b).max(0.0);
+                    w = unconstrained.min(b);
+                    est.observe(w);
+                }
+                self.account.lost = lost;
+            }
+            None => {
+                for &x in arrivals {
+                    debug_assert!(x >= 0.0, "negative arrivals {x}");
+                    offered += x;
+                    w = (w + x - cap).max(0.0);
+                    est.observe(w);
+                }
+            }
+        }
+        self.workload = w;
+        self.account.offered = offered;
+    }
+
     /// Current start-of-frame workload (cells).
     pub fn workload(&self) -> f64 {
         self.workload
@@ -341,6 +410,52 @@ mod tests {
         );
         // Served can never exceed capacity per frame count.
         assert!(served <= 100.0 * arrivals.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn offer_batch_is_bit_identical_to_scalar_offers() {
+        let arrivals = [0.0, 250.0, 80.0, 130.0, 5.0, 400.0, 0.0, 90.0, 99.9];
+        for make in [
+            || FluidQueue::finite(100.0, 37.0),
+            || FluidQueue::finite(100.0, 0.0),
+            || FluidQueue::infinite(100.0),
+        ] {
+            let mut scalar = make();
+            let mut batched = make();
+            for &x in &arrivals {
+                scalar.offer(x);
+            }
+            // Split across two batches to exercise state carry-over.
+            batched.offer_batch(&arrivals[..4]);
+            batched.offer_batch(&arrivals[4..]);
+            assert_eq!(scalar.workload().to_bits(), batched.workload().to_bits());
+            assert_eq!(
+                scalar.account().offered.to_bits(),
+                batched.account().offered.to_bits()
+            );
+            assert_eq!(
+                scalar.account().lost.to_bits(),
+                batched.account().lost.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn offer_batch_observing_matches_scalar_interleave() {
+        let arrivals = [120.0, 30.0, 300.0, 0.0, 150.0, 80.0];
+        let grid = vec![10.0, 50.0, 100.0];
+        let mut scalar_q = FluidQueue::infinite(100.0);
+        let mut scalar_e = BopEstimator::new(grid.clone());
+        for &x in &arrivals {
+            scalar_q.offer(x);
+            scalar_e.observe(scalar_q.workload());
+        }
+        let mut batch_q = FluidQueue::infinite(100.0);
+        let mut batch_e = BopEstimator::new(grid);
+        batch_q.offer_batch_observing(&arrivals, &mut batch_e);
+        assert_eq!(scalar_q.workload().to_bits(), batch_q.workload().to_bits());
+        assert_eq!(scalar_e.buckets(), batch_e.buckets());
+        assert_eq!(scalar_e.observations(), batch_e.observations());
     }
 
     #[test]

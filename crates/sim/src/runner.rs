@@ -43,6 +43,14 @@ use vbr_stats::ConfidenceInterval;
 /// well under a second of wall time.
 const WATCHDOG_CHECK_FRAMES: usize = 1024;
 
+/// Frames advanced per batch through the aggregate-arrivals buffer. Big
+/// enough to amortize per-batch work (virtual dispatch, guard scans, queue
+/// state loads) to noise, small enough that the buffer stays cache-resident
+/// (4096 × 8 B = 32 KiB). Runs with a replication deadline clamp the batch
+/// to [`WATCHDOG_CHECK_FRAMES`] to keep the scalar loop's timeout
+/// granularity.
+const BATCH_FRAMES: usize = 4096;
+
 /// Configuration of one CLR experiment.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -355,33 +363,56 @@ fn run_replication_sources(
     let mut guard = Guard::new(rep, config.seed);
     let started = watchdog.replication_deadline.map(|d| (Instant::now(), d));
     let total_frames = config.warmup_frames + config.frames_per_replication;
-    for frame in 0..total_frames {
+
+    // Block-oriented hot loop: advance the sources a whole batch of frames
+    // into one aggregate-arrivals buffer, then sweep each queue (and the
+    // BOP estimator) over the batch. Results are bit-identical to the
+    // per-frame loop — sources draw from the shared stream in the same
+    // order, queue recursions accumulate in the same order — the batch form
+    // only hoists dispatch, guard checks and queue state off the per-frame
+    // path.
+    let max_batch = if started.is_some() {
+        WATCHDOG_CHECK_FRAMES
+    } else {
+        BATCH_FRAMES
+    };
+    let mut aggregate = vec![0.0; max_batch.min(total_frames.max(1))];
+    let mut frame = 0usize;
+    while frame < total_frames {
         if frame == config.warmup_frames {
             for q in queues.iter_mut() {
                 q.clear_accounts();
             }
         }
-        if frame % WATCHDOG_CHECK_FRAMES == 0 {
-            if let Some((t0, deadline)) = started {
-                if t0.elapsed() > deadline {
-                    return Err(RepFailure::TimedOut);
-                }
+        if let Some((t0, deadline)) = started {
+            if t0.elapsed() > deadline {
+                return Err(RepFailure::TimedOut);
             }
         }
-        let aggregate = guard
-            .aggregate_frame(&mut sources, &mut rng)
+        // A batch never crosses the warmup/measurement boundary, so the
+        // account clearing and the BOP warmup gate stay batch-level
+        // decisions.
+        let end = if frame < config.warmup_frames {
+            (frame + max_batch).min(config.warmup_frames)
+        } else {
+            (frame + max_batch).min(total_frames)
+        };
+        let batch = &mut aggregate[..end - frame];
+        fill_aggregate_batch(&mut sources, &mut rng, &guard, batch)
             .map_err(RepFailure::Fatal)?;
         for (i, q) in queues.iter_mut().enumerate() {
-            q.offer(aggregate);
+            q.offer_batch(batch);
             guard.check_queue(i, q).map_err(RepFailure::Fatal)?;
         }
         if let Some((q, est)) = infinite.as_mut() {
-            q.offer(aggregate);
             if frame >= config.warmup_frames {
-                est.observe(q.workload());
+                q.offer_batch_observing(batch, est);
+            } else {
+                q.offer_batch(batch);
             }
         }
-        guard.advance();
+        guard.advance_by(batch.len() as u64);
+        frame = end;
     }
 
     let accounts: Vec<LossAccount> = queues.iter().map(|q| q.account()).collect();
@@ -389,6 +420,43 @@ fn run_replication_sources(
         accounts,
         infinite.map(|(_, est)| est),
     ))
+}
+
+/// Advances every source through one batch, validating outputs and writing
+/// the per-frame aggregates into `batch`.
+///
+/// Sources draw from the shared replication stream in the scalar path's
+/// exact order — frame-major, then source — because the runner's common
+/// random numbers are interleaved across sources; handing each source a
+/// whole sub-batch would reorder the draws. Only the single-source case can
+/// therefore use [`FrameProcess::fill_frames`] directly (the dominant win:
+/// homogeneous-model runs are the paper's configuration, and `run`
+/// replications always see one prototype). The multi-source path keeps the
+/// per-source validity check inline so a bad value is still attributed to
+/// its exact source and frame before any later draw is examined.
+fn fill_aggregate_batch(
+    sources: &mut [Box<dyn FrameProcess>],
+    rng: &mut Xoshiro256PlusPlus,
+    guard: &Guard,
+    batch: &mut [f64],
+) -> Result<(), SimError> {
+    use crate::error::FaultSite;
+
+    if let [source] = sources {
+        source.fill_frames(batch, rng);
+        return guard.check_batch(batch, FaultSite::Source(0));
+    }
+    for (offset, slot) in batch.iter_mut().enumerate() {
+        let mut aggregate = 0.0;
+        for (i, s) in sources.iter_mut().enumerate() {
+            aggregate += guard.check_source_at(offset as u64, i, s.next_frame(rng))?;
+        }
+        *slot = aggregate;
+    }
+    // Summing finite non-negatives can only overflow to +inf; one scan per
+    // batch replaces the scalar loop's per-frame aggregate check and
+    // reports the same site and frame.
+    guard.check_batch(batch, FaultSite::Aggregate)
 }
 
 /// Shared mutable state of a run: completed results plus checkpoint

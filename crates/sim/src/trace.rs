@@ -158,6 +158,27 @@ impl FrameProcess for TraceProcess {
         x
     }
 
+    fn fill_frames(&mut self, out: &mut [f64], rng: &mut dyn RngCore) {
+        if out.is_empty() {
+            return;
+        }
+        if !self.initialized {
+            self.position = rng.gen_range(0..self.frames.len());
+            self.initialized = true;
+        }
+        // Cyclic replay as wrapping slice copies instead of a per-frame
+        // modulo; same frames, same single rotation draw.
+        let n = self.frames.len();
+        let mut filled = 0;
+        while filled < out.len() {
+            let take = (out.len() - filled).min(n - self.position);
+            out[filled..filled + take]
+                .copy_from_slice(&self.frames[self.position..self.position + take]);
+            self.position = (self.position + take) % n;
+            filled += take;
+        }
+    }
+
     fn mean(&self) -> f64 {
         self.mean
     }

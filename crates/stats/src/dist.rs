@@ -54,6 +54,13 @@ impl Normal {
         self.mean + self.sd * self.standard(rng)
     }
 
+    /// True if a spare deviate from the polar method is cached — i.e. an
+    /// odd number of standard draws has been served since construction.
+    /// Lets callers that rely on draw alignment assert the invariant.
+    pub fn has_spare(&self) -> bool {
+        self.spare.is_some()
+    }
+
     /// Draws one standard-normal variate.
     pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         if let Some(z) = self.spare.take() {
@@ -68,6 +75,45 @@ impl Normal {
                 self.spare = Some(v * mul);
                 return u * mul;
             }
+        }
+    }
+
+    /// Fills `out` with standard-normal variates, identical in values and
+    /// RNG consumption to calling [`standard`](Self::standard) `out.len()`
+    /// times. Each accepted polar pair is written straight into the output,
+    /// so bulk generation skips the per-call spare store/take round-trip;
+    /// only a leading cached spare or a trailing odd element goes through
+    /// the scalar path.
+    pub fn fill_standard<R: Rng + ?Sized>(&mut self, out: &mut [f64], rng: &mut R) {
+        let mut rest: &mut [f64] = out;
+        if let Some(z) = self.spare.take() {
+            match rest.split_first_mut() {
+                Some((first, tail)) => {
+                    *first = z;
+                    rest = tail;
+                }
+                None => {
+                    self.spare = Some(z);
+                    return;
+                }
+            }
+        }
+        let mut pairs = rest.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            loop {
+                let u = 2.0 * rng.gen::<f64>() - 1.0;
+                let v = 2.0 * rng.gen::<f64>() - 1.0;
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    let mul = (-2.0 * s.ln() / s).sqrt();
+                    pair[0] = u * mul;
+                    pair[1] = v * mul;
+                    break;
+                }
+            }
+        }
+        if let [last] = pairs.into_remainder() {
+            *last = self.standard(rng);
         }
     }
 }
@@ -476,6 +522,29 @@ mod tests {
         let beyond = (0..n).filter(|_| d.sample(&mut r) > 1.96).count();
         let frac = beyond as f64 / n as f64;
         assert!((frac - 0.025).abs() < 0.002, "P(Z>1.96) estimate {frac}");
+    }
+
+    #[test]
+    fn fill_standard_matches_scalar_draws() {
+        // Every fill length (even, odd, zero) and alignment state must
+        // reproduce the scalar draw sequence bit-for-bit and leave the RNG
+        // at the same position — the batched generators rely on this.
+        let lens = [0usize, 1, 2, 3, 8, 31, 64, 2, 0, 5];
+        let mut scalar = Normal::new(0.0, 1.0);
+        let mut batched = Normal::new(0.0, 1.0);
+        let mut rs = rng(42);
+        let mut rb = rng(42);
+        for &len in &lens {
+            let want: Vec<f64> = (0..len).map(|_| scalar.standard(&mut rs)).collect();
+            let mut got = vec![0.0; len];
+            batched.fill_standard(&mut got, &mut rb);
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "len {len}, draw {i}");
+            }
+            assert_eq!(scalar.has_spare(), batched.has_spare(), "len {len}");
+        }
+        use rand::RngCore;
+        assert_eq!(rs.next_u64(), rb.next_u64(), "RNG positions diverged");
     }
 
     #[test]

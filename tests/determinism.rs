@@ -127,6 +127,134 @@ fn checkpoint_resume_is_bit_identical() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The batched-generation contract from the pipeline PR: `fill_frames` must
+/// be **bit-identical** to repeated `next_frame` for every model in the
+/// workspace — same values, same RNG draw order. Chunk sizes are chosen to
+/// straddle circulant block boundaries (the FGN/F-ARIMA refill path), hit
+/// the single-frame degenerate case, and exercise large batches.
+#[test]
+fn fill_frames_bit_identical_to_next_frame_for_every_model() {
+    use rand::RngCore;
+    use vbr_models::{
+        FarimaProcess, FgnProcess, GaussianAr1, GopPattern, IidProcess, Marginal, MarkovOnOff,
+        MarkovOnOffParams, MpegGopModel,
+    };
+
+    let markov = MarkovOnOff::new(MarkovOnOffParams::from_frame_targets(
+        500.0, 5_000.0, 30, 0.04,
+    ));
+    let trace = vbr_sim::TraceProcess::new(
+        (0..37).map(|i| 400.0 + 10.0 * i as f64).collect(),
+        "synthetic-trace",
+        8,
+    );
+    // block_len 64 so chunk sizes below cross several refill boundaries.
+    let models: Vec<Box<dyn FrameProcess>> = vec![
+        Box::new(FgnProcess::new(500.0, 70.0, 0.9, 1.0, 64)),
+        Box::new(FgnProcess::new(500.0, 70.0, 0.75, 0.6, 64)),
+        Box::new(FarimaProcess::from_hurst(500.0, 70.0, 0.85, 64)),
+        Box::new(paper::build_z(0.975)),
+        Box::new(paper::build_v(9.0)),
+        Box::new(paper::build_s(0.975, 2)),
+        Box::new(paper::build_l()),
+        Box::new(GaussianAr1::new(500.0, 70.0, 0.8)),
+        Box::new(IidProcess::new(Marginal::Gaussian {
+            mean: 500.0,
+            sd: 70.0,
+        })),
+        Box::new(markov),
+        Box::new(MpegGopModel::new(
+            GopPattern::canonical(500.0),
+            0.9,
+            0.3,
+            10.0,
+        )),
+        Box::new(trace),
+    ];
+    // Uneven chunks: straddle the 64-frame circulant blocks, include 1-frame
+    // and empty batches, and end mid-block.
+    let chunks = [1usize, 7, 64, 0, 129, 5, 300, 1];
+    let total: usize = chunks.iter().sum();
+    for proto in &models {
+        let mut scalar = proto.boxed_clone();
+        let mut batched = proto.boxed_clone();
+        let mut rs = vbr_stats::rng::Xoshiro256PlusPlus::from_seed_u64(0x5EED);
+        let mut rb = vbr_stats::rng::Xoshiro256PlusPlus::from_seed_u64(0x5EED);
+        scalar.reset(&mut rs);
+        batched.reset(&mut rb);
+
+        let reference: Vec<f64> = (0..total).map(|_| scalar.next_frame(&mut rs)).collect();
+        let mut got = vec![0.0_f64; total];
+        let mut off = 0;
+        for &c in &chunks {
+            batched.fill_frames(&mut got[off..off + c], &mut rb);
+            off += c;
+        }
+        for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: frame {i} differs (scalar {a}, batched {b})",
+                proto.label()
+            );
+        }
+        // The RNG stream position must match too: a model that produced the
+        // right values while consuming a different number of draws would
+        // silently break multi-source interleaving.
+        assert_eq!(
+            rs.next_u64(),
+            rb.next_u64(),
+            "{}: RNG stream diverged after fill_frames",
+            proto.label()
+        );
+    }
+}
+
+/// The batched runner sweep must be invisible to results: the fig. 8
+/// composite models through the full pipeline (multi-source superposition,
+/// warmup boundary inside a batch, finite + infinite queues, BOP tracking)
+/// give bit-identical output for 1 and 4 worker threads.
+#[test]
+fn batched_runner_thread_count_invariant_on_fig8_models() {
+    for proto in [paper::build_z(0.9), paper::build_v(9.0)] {
+        let cfg = SimConfig {
+            n_sources: 4,
+            capacity_per_source: 538.0,
+            buffers_total: vec![0.0, 300.0],
+            frames_per_replication: 2_000,
+            warmup_frames: 300,
+            replications: 2,
+            seed: 0xF1C8,
+            ts: 0.04,
+            track_bop: true,
+        };
+        let one = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .expect("threads=1");
+        let four = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(4),
+                ..RunOptions::default()
+            },
+        )
+        .expect("threads=4");
+        for (a, b) in one.per_buffer.iter().zip(&four.per_buffer) {
+            assert_eq!(a.pooled, b.pooled, "{}: pooled accounts", proto.label());
+            assert_eq!(a.clr.mean.to_bits(), b.clr.mean.to_bits());
+            assert_eq!(a.clr.half_width.to_bits(), b.clr.half_width.to_bits());
+        }
+        assert_eq!(one.bop, four.bop, "{}: BOP curves", proto.label());
+    }
+}
+
 #[test]
 fn analysis_is_deterministic() {
     let z = paper::build_z(0.975);
