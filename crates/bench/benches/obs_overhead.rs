@@ -1,0 +1,160 @@
+//! Observability overhead benchmark (`BENCH_4.json`): the BENCH_3 e2e
+//! replication workload (N = 30 FGN, 10⁵ frames/rep, 2 reps, 8 buffers,
+//! 1 thread) run three ways:
+//!
+//! * `recorder_off` — instrumentation compiled in but no recorder attached.
+//!   This is the always-on production path; the acceptance criterion is
+//!   < 1% overhead vs the PR 3 baseline (`paper_output/BENCH_3.json`
+//!   `best_seconds`, or `VBR_OBS_BASELINE=<seconds>` to override).
+//! * `recorder_memory` — full in-memory recorder: every event, batch-level
+//!   metrics, span timing on every worker thread.
+//! * `recorder_telemetry` — the `Telemetry::to_dir` sink stack (JSONL +
+//!   Prometheus + summary files), i.e. what `--telemetry <dir>` costs.
+//!
+//! Run with `cargo bench -p vbr-bench --bench obs_overhead`. Output goes to
+//! `paper_output/BENCH_4.json` (override the directory with `VBR_OUT`).
+
+use std::sync::Arc;
+use std::time::Instant;
+use vbr_models::FgnProcess;
+use vbr_obs::{MemoryRecorder, Recorder, Telemetry};
+use vbr_sim::{run, RunOptions, SimConfig};
+
+fn e2e_config() -> SimConfig {
+    // Identical to the BENCH_3 pipeline config so the overhead numbers are
+    // directly comparable to the PR 3 baseline.
+    SimConfig {
+        n_sources: 30,
+        capacity_per_source: 538.0,
+        buffers_total: vec![
+            0.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0, 32000.0,
+        ],
+        frames_per_replication: 100_000,
+        warmup_frames: 5_000,
+        replications: 2,
+        seed: 0xBEEF_CAFE,
+        ts: 0.04,
+        track_bop: false,
+    }
+}
+
+/// Best-of-`reps` wall time for `f`, returning (best, all runs).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> (f64, Vec<f64>) {
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        runs.push(t0.elapsed().as_secs_f64());
+    }
+    let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
+    (best, runs)
+}
+
+fn timed_variant(
+    name: &str,
+    proto: &FgnProcess,
+    cfg: &SimConfig,
+    recorder: impl Fn() -> Option<Arc<dyn Recorder>>,
+) -> (f64, Vec<f64>, f64) {
+    let mut clr0 = 0.0;
+    let (best, runs) = best_of(3, || {
+        let opts = RunOptions {
+            threads: Some(1),
+            recorder: recorder(),
+            ..RunOptions::default()
+        };
+        let out = run(proto, cfg, &opts).expect("benchmark run");
+        clr0 = out.per_buffer[0].pooled.clr();
+    });
+    for (i, dt) in runs.iter().enumerate() {
+        println!("  {name} run {i}: {dt:.3} s");
+    }
+    println!("  {name} best of 3: {best:.3} s (clr[0] = {clr0:.3e})");
+    (best, runs, clr0)
+}
+
+/// The PR 3 reference time: `VBR_OBS_BASELINE` if set, else `best_seconds`
+/// parsed out of `paper_output/BENCH_3.json` if present.
+fn baseline_seconds() -> Option<f64> {
+    if let Some(s) = std::env::var("VBR_OBS_BASELINE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        return Some(s);
+    }
+    let body = std::fs::read_to_string(vbr_bench::out_dir().join("BENCH_3.json")).ok()?;
+    let tail = body.split("\"best_seconds\":").nth(1)?;
+    tail.split([',', '\n', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    vbr_bench::preamble(
+        "observability overhead: BENCH_3 e2e workload, recorder off/on",
+        "single-thread wall time, best of 3 runs per variant",
+    );
+    let proto = FgnProcess::new(500.0, 5000.0_f64.sqrt(), 0.9, 1.0, 1 << 18);
+    let cfg = e2e_config();
+
+    let (off_best, off_runs, clr_off) = timed_variant("recorder_off", &proto, &cfg, || None);
+    let (mem_best, mem_runs, clr_mem) = timed_variant("recorder_memory", &proto, &cfg, || {
+        Some(Arc::new(MemoryRecorder::new()) as Arc<dyn Recorder>)
+    });
+    let tel_dir = std::env::temp_dir().join("vbr_bench4_telemetry");
+    let (tel_best, tel_runs, clr_tel) = timed_variant("recorder_telemetry", &proto, &cfg, || {
+        Telemetry::to_dir(&tel_dir).ok()
+    });
+    let _ = std::fs::remove_dir_all(&tel_dir);
+
+    assert_eq!(
+        clr_off.to_bits(),
+        clr_mem.to_bits(),
+        "recorder must not perturb results"
+    );
+    assert_eq!(clr_off.to_bits(), clr_tel.to_bits());
+
+    let mem_pct = (mem_best / off_best - 1.0) * 100.0;
+    let tel_pct = (tel_best / off_best - 1.0) * 100.0;
+    println!("\nenabled overhead vs recorder_off: memory {mem_pct:+.2}%, telemetry {tel_pct:+.2}%");
+
+    let baseline = baseline_seconds();
+    let baseline_field = match baseline {
+        Some(b) => {
+            let pct = (off_best / b - 1.0) * 100.0;
+            println!("recorder_off vs PR 3 baseline {b:.3} s: {pct:+.2}% (criterion: < 1%)");
+            format!(
+                "  \"baseline_seconds\": {b:.3},\n  \"disabled_overhead_pct\": {pct:.3},\n"
+            )
+        }
+        None => {
+            println!("(no PR 3 baseline found; set VBR_OBS_BASELINE=<seconds> or write BENCH_3.json first)");
+            String::new()
+        }
+    };
+
+    let fmt_runs = |runs: &[f64]| {
+        runs.iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_4\",\n  \"description\": \"obs overhead on the BENCH_3 e2e workload: N=30 FGN (H=0.9, block 2^18), 1e5 frames/rep, 2 reps, 8 buffers, 1 thread\",\n  \"recorder_off_runs_seconds\": [{}],\n  \"recorder_off_best_seconds\": {off_best:.3},\n{baseline_field}  \"recorder_memory_runs_seconds\": [{}],\n  \"recorder_memory_best_seconds\": {mem_best:.3},\n  \"recorder_memory_overhead_pct\": {mem_pct:.3},\n  \"recorder_telemetry_runs_seconds\": [{}],\n  \"recorder_telemetry_best_seconds\": {tel_best:.3},\n  \"recorder_telemetry_overhead_pct\": {tel_pct:.3},\n  \"clr_buffer0\": {clr_off:.6e},\n  \"results_bit_identical\": true\n}}\n",
+        fmt_runs(&off_runs),
+        fmt_runs(&mem_runs),
+        fmt_runs(&tel_runs),
+    );
+    match vbr_bench::ensure_out_dir() {
+        Ok(dir) => {
+            let path = dir.join("BENCH_4.json");
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!("[json written to {}]", path.display()),
+                Err(e) => eprintln!("[BENCH_4.json not written: {e}]"),
+            }
+        }
+        Err(e) => eprintln!("[output dir unavailable: {e}]"),
+    }
+}

@@ -109,6 +109,49 @@ fn e2e_replication(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead on the e2e replication path: the recorder-less
+/// run (every instrumentation point compiled in but gated off — the
+/// always-on production path, required to be < 1% over the PR 3 baseline)
+/// vs the same run with a full in-memory recorder attached.
+fn obs_overhead(c: &mut Criterion) {
+    use std::sync::Arc;
+    use vbr_obs::MemoryRecorder;
+    use vbr_sim::{run, RunOptions, SimConfig};
+    let proto = vbr_models::FgnProcess::new(500.0, 70.0, 0.9, 1.0, 1 << 14);
+    let cfg = SimConfig {
+        n_sources: 10,
+        capacity_per_source: 538.0,
+        buffers_total: vec![0.0, 1000.0, 8000.0],
+        frames_per_replication: 20_000,
+        warmup_frames: 1_000,
+        replications: 1,
+        seed: 0xBEEF,
+        ts: 0.04,
+        track_bop: false,
+    };
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cfg.frames_per_replication as u64));
+    let disabled = RunOptions {
+        threads: Some(1),
+        ..RunOptions::default()
+    };
+    group.bench_function("e2e_recorder_off", |b| {
+        b.iter(|| run(&proto, &cfg, &disabled).expect("bench run"));
+    });
+    group.bench_function("e2e_recorder_memory", |b| {
+        b.iter(|| {
+            let opts = RunOptions {
+                threads: Some(1),
+                recorder: Some(Arc::new(MemoryRecorder::new())),
+                ..RunOptions::default()
+            };
+            run(&proto, &cfg, &opts).expect("bench run")
+        });
+    });
+    group.finish();
+}
+
 fn queue_ablation(c: &mut Criterion) {
     // DESIGN.md ablation: the fluid frame-level queue vs the slotted
     // cell-level queue on identical arrivals (N = 30, c = 538).
@@ -174,6 +217,6 @@ fn analysis_cost(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = generator_throughput, batched_generation, e2e_replication, queue_ablation, analysis_cost
+    targets = generator_throughput, batched_generation, e2e_replication, obs_overhead, queue_ablation, analysis_cost
 }
 criterion_main!(benches);

@@ -67,6 +67,7 @@ pub mod prelude {
         DarParams, DarProcess, Fbndp, FbndpParams, FrameProcess, GaussianAr1, IidProcess,
         Marginal, ModelError, Superposition,
     };
+    pub use vbr_obs::{Event, MemoryRecorder, Recorder, RunSummary, Telemetry};
     pub use vbr_sim::{
         run, run_mix, simulate_clr, simulate_clr_mix, CheckpointPolicy, PriorityQueue, Provenance,
         RunOptions, SimConfig, SimError, SimOutcome, SourceMix, Watchdog,

@@ -112,6 +112,7 @@ impl FarimaProcess {
     /// Regenerates the serving buffer in place (no allocation in steady
     /// state) and rewinds the cursor.
     fn refill(&mut self, rng: &mut dyn RngCore) {
+        let _s = vbr_obs::span!("farima.synthesize");
         self.buffer.resize(self.generator.block_len(), 0.0);
         self.generator
             .generate_into(rng, &mut self.scratch, &mut self.buffer);

@@ -1,0 +1,567 @@
+//! JSONL event-stream sink: one JSON object per line, one line per
+//! [`Event`], flushed as written so a killed run leaves a readable prefix.
+//!
+//! The workspace is offline and dependency-free by policy, so serialization
+//! is hand-rolled (every event is a flat object of scalars) and the module
+//! carries its own small strict JSON validator — used by the tests, the
+//! telemetry example's self-check and the CI smoke job to prove each
+//! emitted line parses.
+
+use crate::recorder::{Event, Recorder, RunSummary};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Incremental builder for one flat JSON object line.
+struct JsonLine(String);
+
+impl JsonLine {
+    fn new(kind: &str) -> Self {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"type\":\"");
+        s.push_str(kind);
+        s.push('"');
+        Self(s)
+    }
+
+    fn key(&mut self, name: &str) {
+        self.0.push(',');
+        self.0.push('"');
+        self.0.push_str(name);
+        self.0.push_str("\":");
+    }
+
+    fn u64(mut self, name: &str, v: u64) -> Self {
+        self.key(name);
+        let _ = write!(self.0, "{v}");
+        self
+    }
+
+    fn usize(self, name: &str, v: usize) -> Self {
+        self.u64(name, v as u64)
+    }
+
+    fn f64(mut self, name: &str, v: f64) -> Self {
+        self.key(name);
+        // NaN/inf are not JSON numbers; encode them as strings so the line
+        // stays parseable while preserving the information.
+        if v.is_finite() {
+            let _ = write!(self.0, "{v:e}");
+        } else {
+            let _ = write!(self.0, "\"{v}\"");
+        }
+        self
+    }
+
+    fn bool(mut self, name: &str, v: bool) -> Self {
+        self.key(name);
+        self.0.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn str(mut self, name: &str, v: &str) -> Self {
+        self.key(name);
+        self.0.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.0.push_str("\\\""),
+                '\\' => self.0.push_str("\\\\"),
+                '\n' => self.0.push_str("\\n"),
+                '\r' => self.0.push_str("\\r"),
+                '\t' => self.0.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.0, "\\u{:04x}", c as u32);
+                }
+                c => self.0.push(c),
+            }
+        }
+        self.0.push('"');
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.0.push('}');
+        self.0
+    }
+}
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+pub fn event_to_json(event: &Event) -> String {
+    match event {
+        Event::RunStart {
+            seed,
+            replications,
+            n_sources,
+            frames_per_replication,
+            buffers,
+        } => JsonLine::new(event.kind())
+            .u64("seed", *seed)
+            .usize("replications", *replications)
+            .usize("n_sources", *n_sources)
+            .usize("frames_per_replication", *frames_per_replication)
+            .usize("buffers", *buffers)
+            .finish(),
+        Event::ReplicationStart { replication, seed } => JsonLine::new(event.kind())
+            .usize("replication", *replication)
+            .u64("seed", *seed)
+            .finish(),
+        Event::ReplicationEnd {
+            replication,
+            seed,
+            frames,
+            duration_ns,
+            clr_b0,
+        } => JsonLine::new(event.kind())
+            .usize("replication", *replication)
+            .u64("seed", *seed)
+            .u64("frames", *frames)
+            .u64("duration_ns", *duration_ns)
+            .f64("clr_b0", *clr_b0)
+            .finish(),
+        Event::Progress {
+            completed,
+            requested,
+        } => JsonLine::new(event.kind())
+            .usize("completed", *completed)
+            .usize("requested", *requested)
+            .finish(),
+        Event::CheckpointSaved {
+            path,
+            replications,
+            fingerprint,
+        } => JsonLine::new(event.kind())
+            .str("path", path)
+            .usize("replications", *replications)
+            .str("fingerprint", &format!("{fingerprint:016x}"))
+            .finish(),
+        Event::CheckpointResumed {
+            path,
+            replications,
+            fingerprint,
+        } => JsonLine::new(event.kind())
+            .str("path", path)
+            .usize("replications", *replications)
+            .str("fingerprint", &format!("{fingerprint:016x}"))
+            .finish(),
+        Event::GuardTrip {
+            replication,
+            frame,
+            seed,
+            site,
+            value,
+        } => JsonLine::new(event.kind())
+            .usize("replication", *replication)
+            .u64("frame", *frame)
+            .u64("seed", *seed)
+            .str("site", site)
+            .f64("value", *value)
+            .finish(),
+        Event::WatchdogTimeout { replication, seed } => JsonLine::new(event.kind())
+            .usize("replication", *replication)
+            .u64("seed", *seed)
+            .finish(),
+        Event::BudgetExhausted {
+            completed,
+            requested,
+        } => JsonLine::new(event.kind())
+            .usize("completed", *completed)
+            .usize("requested", *requested)
+            .finish(),
+        Event::RunEnd {
+            requested,
+            completed,
+            timed_out,
+            resumed,
+            budget_exhausted,
+            duration_ns,
+        } => JsonLine::new(event.kind())
+            .usize("requested", *requested)
+            .usize("completed", *completed)
+            .usize("timed_out", *timed_out)
+            .usize("resumed", *resumed)
+            .bool("budget_exhausted", *budget_exhausted)
+            .u64("duration_ns", *duration_ns)
+            .finish(),
+    }
+}
+
+/// JSONL sink: writes one line per event to a file, flushing per line. An
+/// I/O failure is reported once on stderr and the sink goes quiet — losing
+/// telemetry must never lose a multi-hour simulation.
+pub struct JsonlRecorder {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    failed: AtomicBool,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncates) the event file.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// Where the events are being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_line(&self, line: &str) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let result = writeln!(w, "{line}").and_then(|()| w.flush());
+        if let Err(e) = result {
+            self.failed.store(true, Ordering::Relaxed);
+            eprintln!(
+                "[vbr-obs] event stream {} failed, telemetry disabled: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        self.write_line(&event_to_json(event));
+    }
+
+    fn finish(&self, _summary: &RunSummary) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Strict validation that `line` is exactly one JSON value (for event lines,
+/// an object). Returns the byte offset and message of the first violation.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {pos}", *c as char)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos} (expected {lit})"))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // [
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at offset {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at offset {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("number missing integer digits at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("number missing fraction digits at offset {pos}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("number missing exponent digits at offset {pos}"));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+/// Validates a whole JSONL body line by line; returns the 1-based line
+/// number and message of the first invalid line.
+pub fn validate_stream(body: &str) -> Result<usize, (usize, String)> {
+    let mut n = 0;
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| (i + 1, e))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_serializes_to_valid_json() {
+        let events = [
+            Event::RunStart {
+                seed: 0x5EED_CAFE,
+                replications: 60,
+                n_sources: 30,
+                frames_per_replication: 500_000,
+                buffers: 8,
+            },
+            Event::ReplicationStart {
+                replication: 3,
+                seed: 1,
+            },
+            Event::ReplicationEnd {
+                replication: 3,
+                seed: 1,
+                frames: 525_000,
+                duration_ns: 830_000_000,
+                clr_b0: 3.89e-6,
+            },
+            Event::Progress {
+                completed: 4,
+                requested: 60,
+            },
+            Event::CheckpointSaved {
+                path: "paper_output/run.ckpt".into(),
+                replications: 4,
+                fingerprint: 0xDEAD_BEEF_0123_4567,
+            },
+            Event::CheckpointResumed {
+                path: "a \"quoted\"\npath\\x".into(),
+                replications: 2,
+                fingerprint: 1,
+            },
+            Event::GuardTrip {
+                replication: 9,
+                frame: 1234,
+                seed: 7,
+                site: "source 3".into(),
+                value: f64::NAN,
+            },
+            Event::WatchdogTimeout {
+                replication: 5,
+                seed: 7,
+            },
+            Event::BudgetExhausted {
+                completed: 10,
+                requested: 60,
+            },
+            Event::RunEnd {
+                requested: 60,
+                completed: 58,
+                timed_out: 2,
+                resumed: 10,
+                budget_exhausted: false,
+                duration_ns: 3_600_000_000_000,
+            },
+        ];
+        for ev in &events {
+            let line = event_to_json(ev);
+            validate_line(&line).unwrap_or_else(|e| panic!("{}: {e}\n{line}", ev.kind()));
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", ev.kind())),
+                "{line}"
+            );
+            assert!(!line.contains('\n'), "single line: {line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_strings() {
+        let line = event_to_json(&Event::GuardTrip {
+            replication: 0,
+            frame: 0,
+            seed: 0,
+            site: "aggregate arrivals".into(),
+            value: f64::INFINITY,
+        });
+        validate_line(&line).expect("valid");
+        assert!(line.contains("\"inf\""), "{line}");
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for good in [
+            "{}",
+            "[]",
+            "{\"a\":1,\"b\":[1,2.5,-3e-7],\"c\":{\"d\":null},\"e\":\"x\\u0041\"}",
+            "  {\"k\":true}  ",
+            "-0.5e+10",
+            "\"just a string\"",
+        ] {
+            validate_line(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "{\"a\":01e}",
+            "{\"a\":1} trailing",
+            "{\"a\":\"unterminated}",
+            "{\"a\":nul}",
+            "{\"a\":1 \"b\":2}",
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_stream() {
+        let dir = std::env::temp_dir().join("vbr_obs_jsonl_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        let rec = JsonlRecorder::create(&path).expect("create");
+        rec.record(&Event::ReplicationStart {
+            replication: 0,
+            seed: 9,
+        });
+        rec.record(&Event::Progress {
+            completed: 1,
+            requested: 2,
+        });
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let n = validate_stream(&body).expect("all lines valid");
+        assert_eq!(n, 2);
+        assert_eq!(body.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validate_stream_pinpoints_bad_line() {
+        let body = "{\"ok\":1}\nnot json\n";
+        let (line, _) = validate_stream(body).unwrap_err();
+        assert_eq!(line, 2);
+    }
+}

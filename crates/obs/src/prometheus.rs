@@ -1,0 +1,320 @@
+//! Prometheus text-format export of the run's final metrics.
+//!
+//! A batch simulator has no scrape endpoint; instead the exporter writes
+//! one text-format file at run end (the Pushgateway / textfile-collector
+//! convention), so run metrics land in the same dashboards as service
+//! metrics. Histograms use the standard cumulative `_bucket{le=...}` form,
+//! the P² replication-duration summary the `{quantile=...}` form, and the
+//! span table is exported as `vbr_stage_seconds_total` / `vbr_stage_calls_total`
+//! labeled by stage path.
+
+use crate::recorder::{Event, Recorder, RunSummary};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".into() } else { "-Inf".into() }
+    } else {
+        format!("{v:e}")
+    }
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {}", fmt_f64(value));
+}
+
+fn histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    snap: &crate::metrics::HistogramSnapshot,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (le, cum) in snap.cumulative() {
+        let le = if le.is_infinite() {
+            "+Inf".to_string()
+        } else {
+            format!("{le:e}")
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", fmt_f64(snap.sum));
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+/// Renders the full Prometheus text exposition for a finished run.
+pub fn render(summary: &RunSummary) -> String {
+    let m = &summary.metrics;
+    let mut out = String::with_capacity(4096);
+
+    counter(
+        &mut out,
+        "vbr_frames_total",
+        "Frames simulated (warmup included), all replications.",
+        m.frames,
+    );
+    counter(
+        &mut out,
+        "vbr_batches_total",
+        "Batches swept through the queue grid.",
+        m.batches,
+    );
+    counter(
+        &mut out,
+        "vbr_cells_offered_total",
+        "Cells offered to the multiplexer (buffer-grid index 0).",
+        fmt_f64(m.cells_offered),
+    );
+    counter(
+        &mut out,
+        "vbr_cells_lost_total",
+        "Cells lost at the smallest configured buffer.",
+        fmt_f64(m.cells_lost_b0),
+    );
+    counter(
+        &mut out,
+        "vbr_replications_completed_total",
+        "Replications whose results entered the estimates.",
+        m.replications_completed,
+    );
+    counter(
+        &mut out,
+        "vbr_replications_timed_out_total",
+        "Replications abandoned by the per-replication deadline.",
+        m.replications_timed_out,
+    );
+    counter(
+        &mut out,
+        "vbr_checkpoint_saves_total",
+        "Checkpoint files written.",
+        m.checkpoint_saves,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP vbr_guard_trips_total Numeric guard trips by pipeline site.\n\
+         # TYPE vbr_guard_trips_total counter"
+    );
+    for (kind, v) in [
+        ("source", m.guard_trips_source),
+        ("aggregate", m.guard_trips_aggregate),
+        ("queue", m.guard_trips_queue),
+    ] {
+        let _ = writeln!(out, "vbr_guard_trips_total{{site=\"{kind}\"}} {v}");
+    }
+
+    gauge(
+        &mut out,
+        "vbr_cells_per_second",
+        "End-of-run throughput in cells per wall-clock second.",
+        m.cells_per_sec,
+    );
+    gauge(
+        &mut out,
+        "vbr_run_wall_seconds",
+        "Run wall time in seconds.",
+        summary.wall.as_secs_f64(),
+    );
+    gauge(
+        &mut out,
+        "vbr_run_budget_exhausted",
+        "1 if the run-level watchdog budget expired early.",
+        if summary.budget_exhausted { 1.0 } else { 0.0 },
+    );
+
+    histogram(
+        &mut out,
+        "vbr_queue_depth_cells",
+        "Queue occupancy in cells, sampled once per queue per batch.",
+        &m.queue_depth,
+    );
+    histogram(
+        &mut out,
+        "vbr_batch_duration_ns",
+        "Wall time per batch (generate + queue sweep) in nanoseconds.",
+        &m.batch_ns,
+    );
+
+    let d = &m.rep_duration_s;
+    let _ = writeln!(
+        out,
+        "# HELP vbr_replication_duration_seconds Per-replication wall time (P2 estimates).\n\
+         # TYPE vbr_replication_duration_seconds summary"
+    );
+    if d.count > 0 {
+        for (level, est) in d.levels.iter().zip(&d.estimates) {
+            let _ = writeln!(
+                out,
+                "vbr_replication_duration_seconds{{quantile=\"{level}\"}} {}",
+                fmt_f64(*est)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "vbr_replication_duration_seconds_sum {}",
+        fmt_f64(d.sum)
+    );
+    let _ = writeln!(out, "vbr_replication_duration_seconds_count {}", d.count);
+
+    if !summary.stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP vbr_stage_seconds_total Wall time inside each instrumented stage.\n\
+             # TYPE vbr_stage_seconds_total counter"
+        );
+        for (path, stats) in summary.stages.iter() {
+            let _ = writeln!(
+                out,
+                "vbr_stage_seconds_total{{stage=\"{}\"}} {}",
+                path.replace('"', "'"),
+                fmt_f64(stats.total_ns as f64 / 1e9)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP vbr_stage_calls_total Times each instrumented stage ran.\n\
+             # TYPE vbr_stage_calls_total counter"
+        );
+        for (path, stats) in summary.stages.iter() {
+            let _ = writeln!(
+                out,
+                "vbr_stage_calls_total{{stage=\"{}\"}} {}",
+                path.replace('"', "'"),
+                stats.calls
+            );
+        }
+    }
+    out
+}
+
+/// Sink that writes the Prometheus exposition file at run end.
+pub struct PrometheusExporter {
+    path: PathBuf,
+}
+
+impl PrometheusExporter {
+    /// Export to `path` when the run finishes.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// Export destination.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Recorder for PrometheusExporter {
+    fn record(&self, _event: &Event) {}
+
+    fn finish(&self, summary: &RunSummary) {
+        if let Err(e) = std::fs::write(&self.path, render(summary)) {
+            eprintln!(
+                "[vbr-obs] prometheus export to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PipelineMetrics;
+    use crate::span::StageTable;
+    use std::time::Duration;
+
+    fn summary() -> RunSummary {
+        let m = PipelineMetrics::default();
+        m.frames.add(10_000);
+        m.batches.add(3);
+        m.cells_offered.add(5e6);
+        m.cells_lost_b0.add(12.5);
+        m.replications_completed.add(2);
+        m.queue_depth.record(0.0);
+        m.queue_depth.record(300.0);
+        m.queue_depth.record(5000.0);
+        m.batch_ns.record(1.2e6);
+        m.observe_replication_seconds(0.8);
+        m.observe_replication_seconds(0.9);
+        m.cells_per_sec.set(6.2e6);
+        let mut stages = StageTable::default();
+        stages.add("replication", 1_700_000_000);
+        stages.add("replication/generate", 1_100_000_000);
+        RunSummary {
+            requested: 2,
+            completed: 2,
+            timed_out: 0,
+            resumed: 0,
+            budget_exhausted: false,
+            wall: Duration::from_secs(2),
+            metrics: m.snapshot(),
+            stages,
+        }
+    }
+
+    #[test]
+    fn render_has_all_metric_families() {
+        let text = render(&summary());
+        for family in [
+            "vbr_frames_total",
+            "vbr_cells_offered_total",
+            "vbr_replications_completed_total",
+            "vbr_guard_trips_total{site=\"source\"}",
+            "vbr_queue_depth_cells_bucket{le=\"+Inf\"}",
+            "vbr_queue_depth_cells_count 3",
+            "vbr_batch_duration_ns_sum",
+            "vbr_replication_duration_seconds{quantile=\"0.5\"}",
+            "vbr_replication_duration_seconds_count 2",
+            "vbr_stage_seconds_total{stage=\"replication/generate\"}",
+            "vbr_stage_calls_total{stage=\"replication\"}",
+            "vbr_run_wall_seconds",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_text() {
+        let text = render(&summary());
+        // Occupancy observations: 0.0, 300.0, 5000.0 -> the +Inf bucket
+        // must read the full count.
+        let inf_line = text
+            .lines()
+            .find(|l| l.starts_with("vbr_queue_depth_cells_bucket{le=\"+Inf\"}"))
+            .expect("inf bucket");
+        assert!(inf_line.ends_with(" 3"), "{inf_line}");
+    }
+
+    #[test]
+    fn exporter_writes_file_on_finish() {
+        let dir = std::env::temp_dir().join("vbr_obs_prom_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.prom");
+        let exp = PrometheusExporter::new(&path);
+        exp.finish(&summary());
+        let body = std::fs::read_to_string(&path).expect("written");
+        assert!(body.contains("vbr_frames_total 10000"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn type_lines_precede_samples() {
+        let text = render(&summary());
+        let type_idx = text.find("# TYPE vbr_frames_total").unwrap();
+        let sample_idx = text.find("\nvbr_frames_total ").unwrap();
+        assert!(type_idx < sample_idx);
+    }
+}

@@ -117,11 +117,13 @@ pub(crate) fn render(config: &SimConfig, results: &BTreeMap<usize, RepResult>) -
 }
 
 /// Atomically writes the checkpoint file for the given completed set.
+/// Returns the config fingerprint the file was stamped with, so callers
+/// (telemetry events) can report it without recomputing.
 pub(crate) fn save(
     policy: &CheckpointPolicy,
     config: &SimConfig,
     results: &BTreeMap<usize, RepResult>,
-) -> Result<(), SimError> {
+) -> Result<u64, SimError> {
     let body = render(config, results);
     let tmp = policy.path.with_extension("ckpt.tmp");
     std::fs::write(&tmp, body)
@@ -132,7 +134,7 @@ pub(crate) fn save(
             e,
         )
     })?;
-    Ok(())
+    Ok(config_fingerprint(config))
 }
 
 /// Parses a checkpoint body; `path` is used only for error context.

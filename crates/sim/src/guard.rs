@@ -11,7 +11,9 @@
 
 use crate::error::{FaultSite, NumericFault, SimError};
 use rand::RngCore;
+use std::sync::Arc;
 use vbr_models::FrameProcess;
+use vbr_obs::GuardTripCounters;
 
 /// Per-replication numeric guard: validates frame-rate and queue values,
 /// tracking the frame index so faults are reported with full provenance.
@@ -20,6 +22,9 @@ pub struct Guard {
     replication: usize,
     seed: u64,
     frame: u64,
+    /// Optional trip counters (shared with the run's metrics): every fault
+    /// this guard constructs is counted at its pipeline site.
+    trips: Option<Arc<GuardTripCounters>>,
 }
 
 impl Guard {
@@ -29,7 +34,15 @@ impl Guard {
             replication,
             seed,
             frame: 0,
+            trips: None,
         }
+    }
+
+    /// Attaches shared trip counters: every fault the guard constructs from
+    /// here on increments the counter matching its [`FaultSite`].
+    pub fn with_trip_counters(mut self, trips: Arc<GuardTripCounters>) -> Self {
+        self.trips = Some(trips);
+        self
     }
 
     /// Current frame index (frames validated so far).
@@ -55,6 +68,13 @@ impl Guard {
     /// by the batch checks, where the guard's counter points at the first
     /// frame of the batch.
     fn fault_at(&self, offset: u64, value: f64, site: FaultSite) -> SimError {
+        if let Some(trips) = &self.trips {
+            match site {
+                FaultSite::Source(_) => trips.source.add(1),
+                FaultSite::Aggregate => trips.aggregate.add(1),
+                FaultSite::Queue(_) => trips.queue.add(1),
+            }
+        }
         SimError::NumericFault(NumericFault {
             replication: self.replication,
             frame: self.frame + offset,

@@ -31,6 +31,12 @@
 //! long runs checkpoint and resume bit-identically ([`checkpoint`]), and a
 //! watchdog degrades an over-budget run to a partial result with explicit
 //! provenance instead of hanging or panicking.
+//!
+//! The harness is also observable: set [`RunOptions::recorder`] (re-exported
+//! from [`vbr_obs`], aliased here as [`obs`]) and the run emits a typed
+//! event stream, streams pipeline metrics at batch granularity, and delivers
+//! an end-of-run summary with per-stage wall-time attribution — all without
+//! touching an RNG, so results stay bit-identical recorder on or off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +51,9 @@ pub mod queue;
 pub mod runner;
 pub mod switch;
 pub mod trace;
+
+pub use vbr_obs as obs;
+pub use vbr_obs::{Event, MemoryRecorder, Recorder, RunSummary, Telemetry};
 
 pub use cell::CellMultiplexer;
 pub use checkpoint::{config_fingerprint, CheckpointPolicy, CHECKPOINT_VERSION};

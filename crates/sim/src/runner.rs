@@ -31,9 +31,10 @@ use crate::queue::{BopEstimator, FluidQueue, LossAccount};
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vbr_models::FrameProcess;
+use vbr_obs::{span, Event, PipelineMetrics, Recorder, RunSummary, StageTable};
 use vbr_stats::rng::Xoshiro256PlusPlus;
 use vbr_stats::ConfidenceInterval;
 
@@ -181,7 +182,7 @@ pub struct Watchdog {
 }
 
 /// Execution options for [`run`] / [`run_mix`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RunOptions {
     /// Persist completed replications and resume from them.
     pub checkpoint: Option<CheckpointPolicy>,
@@ -192,6 +193,60 @@ pub struct RunOptions {
     /// together with `watchdog.run_budget`, controls how many replications a
     /// degraded run completes.
     pub threads: Option<usize>,
+    /// Telemetry sink. When set, the run emits [`Event`]s (replication
+    /// start/end, checkpoints, guard trips, watchdog actions), streams
+    /// pipeline metrics at batch granularity, times the instrumented stages,
+    /// and delivers a [`RunSummary`] at run end. Never touches an RNG:
+    /// results are bit-identical with or without a recorder.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("checkpoint", &self.checkpoint)
+            .field("watchdog", &self.watchdog)
+            .field("threads", &self.threads)
+            .field("recorder", &self.recorder.as_ref().map(|_| "Recorder"))
+            .finish()
+    }
+}
+
+/// Per-run observability context: the recorder plus the live metrics and
+/// stage-timing accumulators. Built once per run iff a recorder is
+/// configured — every instrumentation point in the harness is gated on
+/// `Option<&ObsCtx>` being `Some`, so a recorder-less run pays one branch.
+struct ObsCtx {
+    recorder: Arc<dyn Recorder>,
+    metrics: PipelineMetrics,
+    stages: Mutex<StageTable>,
+    t0: Instant,
+}
+
+impl ObsCtx {
+    fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Self {
+            recorder,
+            metrics: PipelineMetrics::default(),
+            stages: Mutex::new(StageTable::default()),
+            t0: Instant::now(),
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        self.recorder.record(&event);
+    }
+
+    /// Merges the current thread's drained span table into the run's table.
+    fn merge_spans(&self) {
+        let table = span::drain();
+        if !table.is_empty() {
+            self.stages
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .merge(&table);
+        }
+    }
 }
 
 /// How a run's results relate to what was asked for — the `completed /
@@ -328,11 +383,12 @@ fn run_replication(
     rep: usize,
     root: &Xoshiro256PlusPlus,
     watchdog: &Watchdog,
+    obs: Option<&ObsCtx>,
 ) -> Result<RepResult, RepFailure> {
     let sources: Vec<Box<dyn FrameProcess>> = (0..config.n_sources)
         .map(|_| prototype.boxed_clone())
         .collect();
-    run_replication_sources(sources, config, rep, root, watchdog)
+    run_replication_sources(sources, config, rep, root, watchdog, obs)
 }
 
 fn run_replication_sources(
@@ -341,7 +397,9 @@ fn run_replication_sources(
     rep: usize,
     root: &Xoshiro256PlusPlus,
     watchdog: &Watchdog,
+    obs: Option<&ObsCtx>,
 ) -> Result<RepResult, RepFailure> {
+    let _rep_span = span!("replication");
     let mut rng = root.split(rep as u64);
     for s in sources.iter_mut() {
         s.reset(&mut rng);
@@ -361,6 +419,9 @@ fn run_replication_sources(
     });
 
     let mut guard = Guard::new(rep, config.seed);
+    if let Some(o) = obs {
+        guard = guard.with_trip_counters(o.metrics.guard_trips.clone());
+    }
     let started = watchdog.replication_deadline.map(|d| (Instant::now(), d));
     let total_frames = config.warmup_frames + config.frames_per_replication;
 
@@ -398,17 +459,36 @@ fn run_replication_sources(
             (frame + max_batch).min(total_frames)
         };
         let batch = &mut aggregate[..end - frame];
-        fill_aggregate_batch(&mut sources, &mut rng, &guard, batch)
-            .map_err(RepFailure::Fatal)?;
-        for (i, q) in queues.iter_mut().enumerate() {
-            q.offer_batch(batch);
-            guard.check_queue(i, q).map_err(RepFailure::Fatal)?;
+        // Batch wall time is only clocked when a recorder is attached — the
+        // Instant reads stay off the recorder-less path entirely.
+        let batch_t0 = obs.map(|_| Instant::now());
+        {
+            let _s = span!("generate");
+            fill_aggregate_batch(&mut sources, &mut rng, &guard, batch)
+                .map_err(RepFailure::Fatal)?;
         }
-        if let Some((q, est)) = infinite.as_mut() {
-            if frame >= config.warmup_frames {
-                q.offer_batch_observing(batch, est);
-            } else {
+        {
+            let _s = span!("queue.sweep");
+            for (i, q) in queues.iter_mut().enumerate() {
                 q.offer_batch(batch);
+                guard.check_queue(i, q).map_err(RepFailure::Fatal)?;
+            }
+            if let Some((q, est)) = infinite.as_mut() {
+                if frame >= config.warmup_frames {
+                    q.offer_batch_observing(batch, est);
+                } else {
+                    q.offer_batch(batch);
+                }
+            }
+        }
+        if let Some(o) = obs {
+            o.metrics.frames.add(batch.len() as u64);
+            o.metrics.batches.add(1);
+            for q in queues.iter() {
+                o.metrics.queue_depth.record(q.workload());
+            }
+            if let Some(t0) = batch_t0 {
+                o.metrics.batch_ns.record(t0.elapsed().as_nanos() as f64);
             }
         }
         guard.advance_by(batch.len() as u64);
@@ -468,7 +548,10 @@ struct RunState {
 
 /// Handles one replication outcome against the shared state; returns an
 /// error only for fatal conditions (numeric fault, checkpoint write
-/// failure).
+/// failure). With a recorder attached, this is where the per-replication
+/// events and metrics land: completion (duration, CLR, cell accounting),
+/// progress heartbeats, checkpoint saves, watchdog timeouts and guard trips.
+#[allow(clippy::too_many_arguments)]
 fn absorb(
     state: &Mutex<RunState>,
     options: &RunOptions,
@@ -476,25 +559,76 @@ fn absorb(
     rep: usize,
     outcome: Result<RepResult, RepFailure>,
     timed_out: &AtomicUsize,
+    obs: Option<&ObsCtx>,
+    rep_elapsed: Duration,
 ) -> Result<(), SimError> {
     match outcome {
         Ok(result) => {
+            if let Some(o) = obs {
+                o.metrics.replications_completed.add(1);
+                o.metrics
+                    .observe_replication_seconds(rep_elapsed.as_secs_f64());
+                let a0 = &result.accounts[0];
+                o.metrics.cells_offered.add(a0.offered);
+                o.metrics.cells_lost_b0.add(a0.lost);
+                o.emit(Event::ReplicationEnd {
+                    replication: rep,
+                    seed: config.seed,
+                    frames: (config.warmup_frames + config.frames_per_replication) as u64,
+                    duration_ns: rep_elapsed.as_nanos() as u64,
+                    clr_b0: a0.clr(),
+                });
+            }
             let mut state = state.lock().unwrap_or_else(|e| e.into_inner());
             state.completed.insert(rep, result);
             state.unsaved += 1;
+            if let Some(o) = obs {
+                o.emit(Event::Progress {
+                    completed: state.completed.len(),
+                    requested: config.replications,
+                });
+            }
             if let Some(policy) = &options.checkpoint {
                 if state.unsaved >= policy.every.max(1) {
-                    checkpoint::save(policy, config, &state.completed)?;
+                    let fingerprint = checkpoint::save(policy, config, &state.completed)?;
                     state.unsaved = 0;
+                    if let Some(o) = obs {
+                        o.metrics.checkpoint_saves.add(1);
+                        o.emit(Event::CheckpointSaved {
+                            path: policy.path.display().to_string(),
+                            replications: state.completed.len(),
+                            fingerprint,
+                        });
+                    }
                 }
             }
             Ok(())
         }
         Err(RepFailure::TimedOut) => {
             timed_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.metrics.replications_timed_out.add(1);
+                o.emit(Event::WatchdogTimeout {
+                    replication: rep,
+                    seed: config.seed,
+                });
+            }
             Ok(())
         }
-        Err(RepFailure::Fatal(e)) => Err(e),
+        Err(RepFailure::Fatal(e)) => {
+            if let Some(o) = obs {
+                if let SimError::NumericFault(f) = &e {
+                    o.emit(Event::GuardTrip {
+                        replication: f.replication,
+                        frame: f.frame,
+                        seed: f.seed,
+                        site: f.site.to_string(),
+                        value: f.value,
+                    });
+                }
+            }
+            Err(e)
+        }
     }
 }
 
@@ -511,6 +645,10 @@ pub fn run(
 ) -> Result<SimOutcome, SimError> {
     config.validate()?;
     let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
+    let obs = options.recorder.clone().map(ObsCtx::new);
+    if let Some(o) = &obs {
+        o.emit(run_start_event(config));
+    }
 
     // Resume: load completed replications, if a readable checkpoint exists.
     let resumed: BTreeMap<usize, RepResult> = match &options.checkpoint {
@@ -521,6 +659,15 @@ pub fn run(
         _ => BTreeMap::new(),
     };
     let n_resumed = resumed.len();
+    if n_resumed > 0 {
+        if let (Some(o), Some(policy)) = (&obs, &options.checkpoint) {
+            o.emit(Event::CheckpointResumed {
+                path: policy.path.display().to_string(),
+                replications: n_resumed,
+                fingerprint: checkpoint::config_fingerprint(config),
+            });
+        }
+    }
     let remaining: Vec<usize> = (0..config.replications)
         .filter(|r| !resumed.contains_key(r))
         .collect();
@@ -546,6 +693,11 @@ pub fn run(
         .clamp(1, remaining.len().max(1));
 
     let worker = |proto: Box<dyn FrameProcess>| {
+        // Each worker thread collects its own span timings; the tables merge
+        // into the run's table when the worker drains out.
+        if obs.is_some() {
+            span::install();
+        }
         loop {
             if stop.load(Ordering::Relaxed) {
                 break;
@@ -566,13 +718,39 @@ pub fn run(
             }
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(&rep) = remaining.get(i) else { break };
-            let outcome = run_replication(proto.as_ref(), config, rep, &root, &options.watchdog);
-            if let Err(e) = absorb(&state, options, config, rep, outcome, &timed_out) {
+            if let Some(o) = &obs {
+                o.emit(Event::ReplicationStart {
+                    replication: rep,
+                    seed: config.seed,
+                });
+            }
+            let rep_t0 = Instant::now();
+            let outcome = run_replication(
+                proto.as_ref(),
+                config,
+                rep,
+                &root,
+                &options.watchdog,
+                obs.as_ref(),
+            );
+            if let Err(e) = absorb(
+                &state,
+                options,
+                config,
+                rep,
+                outcome,
+                &timed_out,
+                obs.as_ref(),
+                rep_t0.elapsed(),
+            ) {
                 let mut slot = fatal.lock().unwrap_or_else(|p| p.into_inner());
                 slot.get_or_insert(e);
                 stop.store(true, Ordering::Relaxed);
                 break;
             }
+        }
+        if let Some(o) = &obs {
+            o.merge_spans();
         }
     };
 
@@ -592,7 +770,18 @@ pub fn run(
     }
 
     let state = state.into_inner().unwrap_or_else(|p| p.into_inner());
-    finish(config, options, state, &timed_out, &budget_hit, n_resumed)
+    finish(config, options, state, &timed_out, &budget_hit, n_resumed, obs)
+}
+
+/// The `run_start` event for a validated config.
+fn run_start_event(config: &SimConfig) -> Event {
+    Event::RunStart {
+        seed: config.seed,
+        replications: config.replications,
+        n_sources: config.n_sources,
+        frames_per_replication: config.frames_per_replication,
+        buffers: config.buffers_total.len(),
+    }
 }
 
 /// Runs a CLR experiment for a **heterogeneous** mix of sources — e.g. the
@@ -612,6 +801,11 @@ pub fn run_mix(
     config.n_sources = mix.total();
     config.validate()?;
     let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
+    let obs = options.recorder.clone().map(ObsCtx::new);
+    if let Some(o) = &obs {
+        o.emit(run_start_event(&config));
+        span::install();
+    }
 
     let resumed: BTreeMap<usize, RepResult> = match &options.checkpoint {
         Some(policy) if policy.path.exists() => checkpoint::load(&policy.path, &config)?
@@ -621,6 +815,15 @@ pub fn run_mix(
         _ => BTreeMap::new(),
     };
     let n_resumed = resumed.len();
+    if n_resumed > 0 {
+        if let (Some(o), Some(policy)) = (&obs, &options.checkpoint) {
+            o.emit(Event::CheckpointResumed {
+                path: policy.path.display().to_string(),
+                replications: n_resumed,
+                fingerprint: checkpoint::config_fingerprint(&config),
+            });
+        }
+    }
     let state = Mutex::new(RunState {
         completed: resumed,
         unsaved: 0,
@@ -651,16 +854,54 @@ pub fn run_mix(
                 break;
             }
         }
-        let outcome =
-            run_replication_sources(mix.instantiate(), &config, rep, &root, &options.watchdog);
-        absorb(&state, options, &config, rep, outcome, &timed_out)?;
+        if let Some(o) = &obs {
+            o.emit(Event::ReplicationStart {
+                replication: rep,
+                seed: config.seed,
+            });
+        }
+        let rep_t0 = Instant::now();
+        let outcome = run_replication_sources(
+            mix.instantiate(),
+            &config,
+            rep,
+            &root,
+            &options.watchdog,
+            obs.as_ref(),
+        );
+        let absorbed = absorb(
+            &state,
+            options,
+            &config,
+            rep,
+            outcome,
+            &timed_out,
+            obs.as_ref(),
+            rep_t0.elapsed(),
+        );
+        if absorbed.is_err() {
+            // The sequential path times its spans on the caller's thread;
+            // uninstall the collector even when the run dies fatally so it
+            // cannot leak into a later run on the same thread.
+            if let Some(o) = &obs {
+                o.merge_spans();
+            }
+        }
+        absorbed?;
+    }
+    if let Some(o) = &obs {
+        o.merge_spans();
     }
 
     let state = state.into_inner().unwrap_or_else(|p| p.into_inner());
-    finish(&config, options, state, &timed_out, &budget_hit, n_resumed)
+    finish(&config, options, state, &timed_out, &budget_hit, n_resumed, obs)
 }
 
 /// Final checkpoint write, degradation accounting and outcome assembly.
+/// With a recorder attached, also where the terminal events
+/// (`budget_exhausted`, `run_end`) fire and the [`RunSummary`] — metrics
+/// snapshot plus merged stage table — is delivered to the sinks.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     config: &SimConfig,
     options: &RunOptions,
@@ -668,6 +909,7 @@ fn finish(
     timed_out: &AtomicUsize,
     budget_hit: &AtomicBool,
     resumed: usize,
+    obs: Option<ObsCtx>,
 ) -> Result<SimOutcome, SimError> {
     let timed_out = timed_out.load(Ordering::Relaxed);
     if state.completed.is_empty() {
@@ -679,7 +921,15 @@ fn finish(
     }
     if state.unsaved > 0 {
         if let Some(policy) = &options.checkpoint {
-            checkpoint::save(policy, config, &state.completed)?;
+            let fingerprint = checkpoint::save(policy, config, &state.completed)?;
+            if let Some(o) = &obs {
+                o.metrics.checkpoint_saves.add(1);
+                o.emit(Event::CheckpointSaved {
+                    path: policy.path.display().to_string(),
+                    replications: state.completed.len(),
+                    fingerprint,
+                });
+            }
         }
     }
     let provenance = Provenance {
@@ -689,6 +939,41 @@ fn finish(
         resumed,
         budget_exhausted: budget_hit.load(Ordering::Relaxed),
     };
+    if let Some(o) = obs {
+        let wall = o.t0.elapsed();
+        if provenance.budget_exhausted {
+            o.emit(Event::BudgetExhausted {
+                completed: provenance.completed,
+                requested: provenance.requested,
+            });
+        }
+        o.emit(Event::RunEnd {
+            requested: provenance.requested,
+            completed: provenance.completed,
+            timed_out: provenance.timed_out,
+            resumed: provenance.resumed,
+            budget_exhausted: provenance.budget_exhausted,
+            duration_ns: wall.as_nanos() as u64,
+        });
+        o.metrics
+            .cells_per_sec
+            .set(o.metrics.cells_offered.get() / wall.as_secs_f64().max(1e-9));
+        let stages = o
+            .stages
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        let summary = RunSummary {
+            requested: provenance.requested,
+            completed: provenance.completed,
+            timed_out: provenance.timed_out,
+            resumed: provenance.resumed,
+            budget_exhausted: provenance.budget_exhausted,
+            wall,
+            metrics: o.metrics.snapshot(),
+            stages,
+        };
+        o.recorder.finish(&summary);
+    }
     Ok(collect_outcome(config, &state.completed, provenance))
 }
 
@@ -1012,6 +1297,258 @@ mod tests {
             }
             other => panic!("wrong error {other}"),
         }
+    }
+
+    #[test]
+    fn recorder_sees_full_event_stream_and_summary() {
+        use vbr_obs::MemoryRecorder;
+        let rec = Arc::new(MemoryRecorder::new());
+        let proto = GaussianAr1::new(500.0, 70.0, 0.8);
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 2_000;
+        cfg.replications = 3;
+        let out = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                recorder: Some(rec.clone()),
+                threads: Some(2),
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid run");
+        assert_eq!(rec.count("run_start"), 1);
+        assert_eq!(rec.count("replication_start"), 3);
+        assert_eq!(rec.count("replication_end"), 3);
+        assert_eq!(rec.count("progress"), 3);
+        assert_eq!(rec.count("run_end"), 1);
+        assert_eq!(rec.count("guard_trip"), 0);
+        let summary = rec.summary().expect("finish delivered");
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.metrics.replications_completed, 3);
+        assert_eq!(
+            summary.metrics.frames,
+            3 * (cfg.warmup_frames + cfg.frames_per_replication) as u64
+        );
+        assert!(summary.metrics.cells_offered > 0.0);
+        assert!(summary.metrics.queue_depth.count > 0);
+        assert_eq!(summary.metrics.rep_duration_s.count, 3);
+        assert!(summary.stages.get("replication").is_some());
+        assert!(summary.stages.get("replication/generate").is_some());
+        assert!(summary.stages.get("replication/queue.sweep").is_some());
+        assert_eq!(out.provenance.completed, 3);
+    }
+
+    #[test]
+    fn recorder_sees_watchdog_timeouts() {
+        use vbr_obs::MemoryRecorder;
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.n_sources = 2;
+        cfg.frames_per_replication = 200_000;
+        cfg.warmup_frames = 0;
+        cfg.replications = 2;
+        let err = run(
+            &Molasses,
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                watchdog: Watchdog {
+                    replication_deadline: Some(Duration::from_millis(1)),
+                    ..Watchdog::default()
+                },
+                recorder: Some(rec.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::NoCompletedReplications { .. }));
+        assert_eq!(rec.count("watchdog_timeout"), 2);
+        assert_eq!(rec.count("replication_end"), 0);
+        assert!(rec.summary().is_none(), "no summary on a failed run");
+    }
+
+    /// A model that turns NaN after a few frames — drives guard-trip events.
+    #[derive(Debug, Clone)]
+    struct GoesNan {
+        emitted: u64,
+    }
+
+    impl FrameProcess for GoesNan {
+        fn next_frame(&mut self, _rng: &mut dyn RngCore) -> f64 {
+            self.emitted += 1;
+            if self.emitted > 10 {
+                f64::NAN
+            } else {
+                100.0
+            }
+        }
+        fn mean(&self) -> f64 {
+            100.0
+        }
+        fn variance(&self) -> f64 {
+            1.0
+        }
+        fn autocorrelations(&self, max_lag: usize) -> Vec<f64> {
+            let mut v = vec![0.0; max_lag + 1];
+            v[0] = 1.0;
+            v
+        }
+        fn reset(&mut self, _rng: &mut dyn RngCore) {
+            self.emitted = 0;
+        }
+        fn boxed_clone(&self) -> Box<dyn FrameProcess> {
+            Box::new(self.clone())
+        }
+        fn label(&self) -> String {
+            "goes-nan".into()
+        }
+    }
+
+    #[test]
+    fn recorder_sees_guard_trip_with_fault_provenance() {
+        use vbr_obs::{Event, MemoryRecorder};
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.n_sources = 1;
+        cfg.frames_per_replication = 1_000;
+        cfg.warmup_frames = 0;
+        cfg.replications = 1;
+        let err = run(
+            &GoesNan { emitted: 0 },
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                recorder: Some(rec.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        let fault = match err {
+            SimError::NumericFault(f) => f,
+            other => panic!("wrong error {other}"),
+        };
+        assert_eq!(rec.count("guard_trip"), 1);
+        let trip = rec
+            .events()
+            .into_iter()
+            .find(|e| e.kind() == "guard_trip")
+            .expect("guard trip recorded");
+        match trip {
+            Event::GuardTrip {
+                replication,
+                frame,
+                seed,
+                site,
+                value,
+            } => {
+                assert_eq!(replication, fault.replication);
+                assert_eq!(frame, fault.frame);
+                assert_eq!(seed, fault.seed);
+                assert_eq!(site, fault.site.to_string());
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+        let summary = rec.summary();
+        assert!(summary.is_none(), "fatal run delivers no summary");
+    }
+
+    #[test]
+    fn recorder_sees_checkpoint_save_and_resume() {
+        use vbr_obs::{Event, MemoryRecorder};
+        let dir = std::env::temp_dir().join("vbr_runner_obs_ckpt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("obs.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let proto = GaussianAr1::new(500.0, 70.0, 0.8);
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 2_000;
+        cfg.replications = 2;
+
+        let first = Arc::new(MemoryRecorder::new());
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::new(&path)),
+            threads: Some(1),
+            recorder: Some(first.clone()),
+            ..RunOptions::default()
+        };
+        run(&proto, &cfg, &opts).expect("first run");
+        assert!(first.count("checkpoint_saved") >= 1);
+        let expected_fp = checkpoint::config_fingerprint(&cfg);
+        for e in first.events() {
+            if let Event::CheckpointSaved { fingerprint, .. } = e {
+                assert_eq!(fingerprint, expected_fp);
+            }
+        }
+
+        let second = Arc::new(MemoryRecorder::new());
+        let opts = RunOptions {
+            recorder: Some(second.clone()),
+            ..opts
+        };
+        run(&proto, &cfg, &opts).expect("resumed run");
+        assert_eq!(second.count("checkpoint_resumed"), 1);
+        assert_eq!(second.count("replication_start"), 0, "all resumed");
+        let summary = second.summary().expect("summary");
+        assert_eq!(summary.resumed, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recorder_sees_budget_exhaustion() {
+        use vbr_obs::MemoryRecorder;
+        let rec = Arc::new(MemoryRecorder::new());
+        let proto = GaussianAr1::new(500.0, 70.0, 0.5);
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 2_000;
+        cfg.replications = 6;
+        let out = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                watchdog: Watchdog {
+                    run_budget: Some(Duration::ZERO),
+                    ..Watchdog::default()
+                },
+                recorder: Some(rec.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("degrades, not errors");
+        assert!(out.provenance.budget_exhausted);
+        assert_eq!(rec.count("budget_exhausted"), 1);
+        let summary = rec.summary().expect("summary");
+        assert!(summary.budget_exhausted);
+        assert!(summary.render().contains("budget_exhausted = true"));
+    }
+
+    #[test]
+    fn run_mix_records_events_too() {
+        use vbr_obs::MemoryRecorder;
+        let rec = Arc::new(MemoryRecorder::new());
+        let a = GaussianAr1::new(500.0, 70.0, 0.8);
+        let b = IidProcess::new(Marginal::paper_gaussian());
+        let mix = SourceMix::new(vec![(&a as &dyn FrameProcess, 15), (&b, 15)]).expect("mix");
+        let mut cfg = quick_config(vec![100.0]);
+        cfg.frames_per_replication = 1_000;
+        cfg.replications = 2;
+        let out = run_mix(
+            &mix,
+            &cfg,
+            &RunOptions {
+                recorder: Some(rec.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("mix run");
+        assert_eq!(out.provenance.completed, 2);
+        assert_eq!(rec.count("replication_end"), 2);
+        assert_eq!(rec.count("run_end"), 1);
+        let summary = rec.summary().expect("summary");
+        assert!(summary.stages.get("replication").is_some());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! against the same file resumes from what is already on disk (try killing
 //! the process mid-run: the atomic checkpoint write means the next
 //! invocation picks up from the last completed replication).
+//!
+//! Pass `--telemetry <dir>` to also record the checkpointed run's event
+//! stream, metrics and summary (see `examples/telemetry_run.rs`).
 
 use lrd_video::prelude::*;
 use rand::RngCore;
@@ -57,6 +60,23 @@ fn main() -> Result<(), SimError> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(6);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let recorder = match args.iter().position(|a| a == "--telemetry") {
+        Some(i) => {
+            let dir = args.get(i + 1).map(String::as_str).unwrap_or("paper_output/telemetry");
+            match Telemetry::to_dir(dir) {
+                Ok(rec) => {
+                    println!("telemetry -> {dir}/");
+                    Some(rec)
+                }
+                Err(e) => {
+                    eprintln!("telemetry dir {dir} unavailable ({e}); continuing without");
+                    None
+                }
+            }
+        }
+        None => None,
+    };
 
     // The paper's multiplexer at reduced scale: 30 sources, two buffers.
     let z = paper::build_z(0.975);
@@ -73,6 +93,7 @@ fn main() -> Result<(), SimError> {
             run_budget: None,
         },
         threads: None,
+        recorder,
     };
     println!("running {reps} replications with checkpoint at {ckpt} ...");
     let out = run(&z, &cfg, &opts)?;
@@ -115,6 +136,7 @@ fn main() -> Result<(), SimError> {
             run_budget: Some(Duration::ZERO),
         },
         threads: Some(1),
+        recorder: None,
     };
     let partial = run(&z, &cfg, &strangled)?;
     println!(

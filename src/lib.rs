@@ -12,6 +12,7 @@
 //! * [`models`] — VBR traffic models (DAR(p), FBNDP, FGN, superpositions)
 //! * [`asymptotics`] — large deviations: V(m), CTS, Bahadur-Rao, Weibull
 //! * [`sim`] — fluid + cell-level multiplexer simulation, replication harness
+//! * [`obs`] — observability: tracing spans, streaming metrics, run telemetry
 //! * [`atm`] — ATM cell codec (HEC), GCRA policing, spacing
 //! * [`core`] — the paper pipeline: Table-1 solvers, DAR matching,
 //!   experiment drivers, prelude
@@ -25,6 +26,7 @@ pub use vbr_asymptotics as asymptotics;
 pub use vbr_atm as atm;
 pub use vbr_core as core;
 pub use vbr_models as models;
+pub use vbr_obs as obs;
 pub use vbr_sim as sim;
 pub use vbr_stats as stats;
 

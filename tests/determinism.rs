@@ -255,6 +255,80 @@ fn batched_runner_thread_count_invariant_on_fig8_models() {
     }
 }
 
+/// The observability contract: attaching a recorder — even the full
+/// `Telemetry::to_dir` sink stack doing live file I/O — must leave every
+/// simulation result **bit-identical** to a recorder-less run. The obs layer
+/// never touches an RNG; only wall-clock reads and metric writes differ.
+/// Exercised across thread counts so span collection on worker threads is
+/// covered too.
+#[test]
+fn recorder_on_or_off_is_bit_identical() {
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join("vbr_determinism_telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let proto = paper::build_z(0.9);
+    let cfg = SimConfig {
+        n_sources: 6,
+        capacity_per_source: 538.0,
+        buffers_total: vec![0.0, 400.0, 1500.0],
+        frames_per_replication: 4_000,
+        warmup_frames: 200,
+        replications: 3,
+        seed: 0x0B5E,
+        ts: 0.04,
+        track_bop: true,
+    };
+
+    let bare = run(&proto, &cfg, &RunOptions::default()).expect("recorder off");
+
+    for threads in [1, 4] {
+        let memory = Arc::new(MemoryRecorder::new());
+        let telemetry = Telemetry::to_dir(&dir).expect("telemetry dir");
+        let fan = Arc::new(lrd_video::obs::FanoutRecorder::new(vec![
+            memory.clone(),
+            telemetry,
+        ]));
+        let observed = run(
+            &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(threads),
+                recorder: Some(fan),
+                ..RunOptions::default()
+            },
+        )
+        .expect("recorder on");
+
+        for (a, b) in bare.per_buffer.iter().zip(&observed.per_buffer) {
+            assert_eq!(
+                a.pooled, b.pooled,
+                "threads={threads}: pooled accounts must match bitwise"
+            );
+            assert_eq!(a.clr.mean.to_bits(), b.clr.mean.to_bits());
+            assert_eq!(a.clr.half_width.to_bits(), b.clr.half_width.to_bits());
+        }
+        assert_eq!(bare.bop, observed.bop, "threads={threads}: BOP curves");
+        assert_eq!(bare.frames_total, observed.frames_total);
+
+        // The telemetry itself must be coherent: a complete event stream of
+        // valid JSON lines and a summary that agrees with the outcome.
+        assert_eq!(memory.count("run_start"), 1);
+        assert_eq!(memory.count("replication_end"), 3);
+        assert_eq!(memory.count("run_end"), 1);
+        let summary = memory.summary().expect("summary delivered");
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.metrics.replications_completed, 3);
+        let events =
+            std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
+        let lines = lrd_video::obs::jsonl::validate_stream(&events)
+            .expect("every JSONL line must be valid JSON");
+        assert_eq!(lines, memory.events().len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn analysis_is_deterministic() {
     let z = paper::build_z(0.975);
