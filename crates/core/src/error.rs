@@ -1,0 +1,84 @@
+//! Typed errors for the analysis/report layer.
+//!
+//! The coordinator of a multi-process campaign renders reports for many
+//! shards; a full disk or a dead NFS mount while writing one of them must
+//! surface as a value the caller can route (skip the artifact, keep the
+//! campaign) — never as a panic that takes the whole coordinator down.
+
+use vbr_sim::SimError;
+
+/// Any failure in the vbr-core report/experiment surface.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An I/O operation failed. `context` says what was being written where.
+    Io {
+        /// Human-readable description of the operation (includes the path).
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A simulation-layer failure bubbled up through an experiment driver.
+    Sim(SimError),
+}
+
+impl CoreError {
+    /// Wraps an I/O error with operation context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io { source, .. } => Some(source),
+            CoreError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_carries_context_and_source() {
+        let e = CoreError::io(
+            "writing report to /tmp/r.txt",
+            std::io::Error::new(std::io::ErrorKind::StorageFull, "disk full"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/r.txt"), "{msg}");
+        assert!(msg.contains("disk full"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let sim = SimError::io(
+            "reading checkpoint",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let e: CoreError = sim.into();
+        assert!(matches!(e, CoreError::Sim(_)));
+        assert!(e.to_string().contains("simulation error"));
+    }
+}

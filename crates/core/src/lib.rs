@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod error;
 pub mod experiments;
 pub mod matching;
 pub mod paper;
@@ -53,6 +54,7 @@ pub mod report;
 
 /// Convenient re-exports of the whole analysis surface.
 pub mod prelude {
+    pub use crate::error::CoreError;
     pub use crate::matching::fit_dar;
     pub use crate::paper;
     pub use crate::paper::{ModelSet, PaperSpec};
@@ -69,7 +71,8 @@ pub mod prelude {
     };
     pub use vbr_obs::{Event, MemoryRecorder, Recorder, RunSummary, Telemetry};
     pub use vbr_sim::{
-        run, run_mix, simulate_clr, simulate_clr_mix, CheckpointPolicy, PriorityQueue, Provenance,
-        RunOptions, SimConfig, SimError, SimOutcome, SourceMix, Watchdog,
+        plan_shards, run, run_campaign, run_mix, simulate_clr, simulate_clr_mix, CampaignOptions,
+        CampaignOutcome, CheckpointPolicy, PriorityQueue, Provenance, RetryPolicy, RunOptions,
+        SimConfig, SimError, SimOutcome, SourceMix, Watchdog,
     };
 }

@@ -7,6 +7,7 @@
 //! (required buffer / effective bandwidth) at standard loss targets.
 //! The `traffic_report` example renders it for the paper's models.
 
+use crate::error::CoreError;
 use std::fmt::Write as _;
 use vbr_asymptotics::bop::{buffer_delay_ms, buffer_from_delay_ms};
 use vbr_asymptotics::cts::critical_time_scale_with;
@@ -180,16 +181,21 @@ impl TrafficReport {
         out
     }
 
-    /// Writes the plain-text page to `path`, propagating I/O failure
-    /// instead of panicking (the report may be emitted at the tail of an
-    /// hours-long run; a full disk must not look like a crash).
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// Writes the plain-text page to `path`, propagating I/O failure as a
+    /// typed [`CoreError`] instead of panicking (the report may be emitted
+    /// at the tail of an hours-long campaign; a full disk in one shard must
+    /// not look like a coordinator crash).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        let path = path.as_ref();
         std::fs::write(path, self.render())
+            .map_err(|e| CoreError::io(format!("writing report to {}", path.display()), e))
     }
 
-    /// Writes the CSV tables to `path`.
-    pub fn save_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// Writes the CSV tables to `path` (same error contract as [`Self::save`]).
+    pub fn save_csv(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        let path = path.as_ref();
         std::fs::write(path, self.to_csv())
+            .map_err(|e| CoreError::io(format!("writing report CSV to {}", path.display()), e))
     }
 }
 
@@ -226,6 +232,28 @@ mod tests {
         let render = r.render();
         assert!(render.contains("traffic profile"));
         assert!(render.contains("eff. bandwidth"));
+    }
+
+    #[test]
+    fn save_reports_typed_io_errors_with_path_context() {
+        let model = paper::build_s(0.975, 1);
+        let r = TrafficReport::build(&model, &small_config());
+        // A directory that does not exist: typed error, not a panic.
+        let bad = std::path::Path::new("/nonexistent-vbr-dir/report.txt");
+        let err = r.save(bad).expect_err("save must fail");
+        assert!(matches!(err, CoreError::Io { .. }));
+        assert!(err.to_string().contains("report.txt"), "{err}");
+        let err = r.save_csv(bad).expect_err("save_csv must fail");
+        assert!(err.to_string().contains("CSV"), "{err}");
+
+        // And the happy path round-trips.
+        let dir = std::env::temp_dir().join("vbr_core_report_save_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("r.csv");
+        r.save_csv(&path).expect("save_csv");
+        let body = std::fs::read_to_string(&path).expect("read");
+        assert!(body.contains("# cts_table"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

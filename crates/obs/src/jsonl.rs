@@ -44,6 +44,12 @@ impl JsonLine {
         self.u64(name, v as u64)
     }
 
+    fn i64(mut self, name: &str, v: i64) -> Self {
+        self.key(name);
+        let _ = write!(self.0, "{v}");
+        self
+    }
+
     fn f64(mut self, name: &str, v: f64) -> Self {
         self.key(name);
         // NaN/inf are not JSON numbers; encode them as strings so the line
@@ -170,6 +176,95 @@ pub fn event_to_json(event: &Event) -> String {
             .usize("completed", *completed)
             .usize("requested", *requested)
             .finish(),
+        Event::Heartbeat { replication, frame } => JsonLine::new(event.kind())
+            .usize("replication", *replication)
+            .u64("frame", *frame)
+            .finish(),
+        Event::CheckpointFallback {
+            path,
+            error,
+            recovered,
+        } => JsonLine::new(event.kind())
+            .str("path", path)
+            .str("error", error)
+            .bool("recovered", *recovered)
+            .finish(),
+        Event::CampaignStart {
+            shards,
+            replications,
+        } => JsonLine::new(event.kind())
+            .usize("shards", *shards)
+            .usize("replications", *replications)
+            .finish(),
+        Event::WorkerSpawned {
+            shard,
+            attempt,
+            pid,
+        } => JsonLine::new(event.kind())
+            .usize("shard", *shard)
+            .u64("attempt", u64::from(*attempt))
+            .u64("pid", u64::from(*pid))
+            .finish(),
+        Event::WorkerExited {
+            shard,
+            attempt,
+            code,
+        } => JsonLine::new(event.kind())
+            .usize("shard", *shard)
+            .u64("attempt", u64::from(*attempt))
+            .i64("code", *code)
+            .finish(),
+        Event::WorkerStalled {
+            shard,
+            attempt,
+            silent_ms,
+        } => JsonLine::new(event.kind())
+            .usize("shard", *shard)
+            .u64("attempt", u64::from(*attempt))
+            .u64("silent_ms", *silent_ms)
+            .finish(),
+        Event::WorkerRestarted {
+            shard,
+            attempt,
+            backoff_ms,
+        } => JsonLine::new(event.kind())
+            .usize("shard", *shard)
+            .u64("attempt", u64::from(*attempt))
+            .u64("backoff_ms", *backoff_ms)
+            .finish(),
+        Event::ShardCompleted {
+            shard,
+            replications,
+            attempts,
+        } => JsonLine::new(event.kind())
+            .usize("shard", *shard)
+            .usize("replications", *replications)
+            .u64("attempts", u64::from(*attempts))
+            .finish(),
+        Event::ShardQuarantined {
+            shard,
+            attempts,
+            completed,
+        } => JsonLine::new(event.kind())
+            .usize("shard", *shard)
+            .u64("attempts", u64::from(*attempts))
+            .usize("completed", *completed)
+            .finish(),
+        Event::CampaignEnd {
+            shards,
+            quarantined,
+            requested,
+            completed,
+            restarts,
+            duration_ns,
+        } => JsonLine::new(event.kind())
+            .usize("shards", *shards)
+            .usize("quarantined", *quarantined)
+            .usize("requested", *requested)
+            .usize("completed", *completed)
+            .usize("restarts", *restarts)
+            .u64("duration_ns", *duration_ns)
+            .finish(),
         Event::RunEnd {
             requested,
             completed,
@@ -202,6 +297,22 @@ impl JsonlRecorder {
     pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
         let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// Opens the event file for appending (creating it if absent) — the mode
+    /// a restarted worker uses so the supervisor's already-consumed prefix of
+    /// the stream survives the restart.
+    pub fn append(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)?;
         Ok(Self {
             path,
             writer: Mutex::new(BufWriter::new(file)),
@@ -418,6 +529,169 @@ pub fn validate_stream(body: &str) -> Result<usize, (usize, String)> {
     Ok(n)
 }
 
+/// Validates a JSONL body that may end in a **partial trailing line** — the
+/// normal wreckage of a worker killed mid-write. A final line that fails
+/// validation *and* is not newline-terminated is treated as end-of-stream,
+/// not an error. Returns `(valid_lines, partial_tail)`; an invalid line
+/// anywhere else is still an error.
+pub fn validate_stream_tolerant(body: &str) -> Result<(usize, bool), (usize, String)> {
+    let lines: Vec<&str> = body.lines().collect();
+    let terminated = body.ends_with('\n');
+    let mut n = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match validate_line(line) {
+            Ok(()) => n += 1,
+            Err(_) if i + 1 == lines.len() && !terminated => return Ok((n, true)),
+            Err(e) => return Err((i + 1, e)),
+        }
+    }
+    Ok((n, false))
+}
+
+/// One scalar field value of a flat JSONL event object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A JSON number (all event numbers fit f64 exactly at the magnitudes
+    /// emitted).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The value as an f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one **flat** JSON object line (every emitted event is one) into
+/// `(key, scalar)` pairs in source order. Nested objects/arrays are rejected
+/// — the event schema has none, so hitting one means the line is not an
+/// event. This is the supervisor's read side of the event stream.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    validate_line(line)?;
+    let b = line.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    if b.get(pos) != Some(&b'{') {
+        return Err("not an object".into());
+    }
+    pos += 1;
+    let mut out = Vec::new();
+    skip_ws(b, &mut pos);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(b, &mut pos);
+        let key = read_string(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        pos += 1; // ':' — guaranteed by validate_line
+        skip_ws(b, &mut pos);
+        let value = match b.get(pos) {
+            Some(b'"') => JsonScalar::String(read_string(b, &mut pos)?),
+            Some(b't') => {
+                pos += 4;
+                JsonScalar::Bool(true)
+            }
+            Some(b'f') => {
+                pos += 5;
+                JsonScalar::Bool(false)
+            }
+            Some(b'n') => {
+                pos += 4;
+                JsonScalar::Null
+            }
+            Some(b'{' | b'[') => return Err(format!("nested value at offset {pos} (not flat)")),
+            _ => {
+                let start = pos;
+                parse_number(b, &mut pos)?;
+                let text = std::str::from_utf8(&b[start..pos]).map_err(|e| e.to_string())?;
+                JsonScalar::Number(text.parse::<f64>().map_err(|e| e.to_string())?)
+            }
+        };
+        out.push((key, value));
+        skip_ws(b, &mut pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            _ => return Ok(out), // '}' — guaranteed by validate_line
+        }
+    }
+}
+
+/// Reads and unescapes a JSON string already proven well-formed by
+/// [`validate_line`].
+fn read_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through intact: collect the
+                // full code point.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().ok_or("empty string tail")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,5 +837,166 @@ mod tests {
         let body = "{\"ok\":1}\nnot json\n";
         let (line, _) = validate_stream(body).unwrap_err();
         assert_eq!(line, 2);
+    }
+
+    /// The satellite contract: a partial trailing line — what a SIGKILLed
+    /// worker leaves mid-write — is end-of-stream, not a validation error.
+    #[test]
+    fn tolerant_validator_accepts_partial_trailing_line() {
+        let body = "{\"type\":\"progress\",\"completed\":1,\"requested\":4}\n{\"type\":\"replica";
+        let (n, partial) = validate_stream_tolerant(body).expect("tolerated");
+        assert_eq!(n, 1);
+        assert!(partial);
+
+        // A newline-terminated garbage line is NOT a partial tail.
+        let body = "{\"ok\":1}\n{garbage}\n";
+        assert!(validate_stream_tolerant(body).is_err());
+
+        // Garbage mid-stream is still an error even without a final newline.
+        let body = "{garbage}\n{\"par";
+        let (line, _) = validate_stream_tolerant(body).unwrap_err();
+        assert_eq!(line, 1);
+
+        // A clean stream reports no partial tail.
+        let body = "{\"ok\":1}\n{\"ok\":2}\n";
+        assert_eq!(validate_stream_tolerant(body), Ok((2, false)));
+    }
+
+    #[test]
+    fn campaign_events_serialize_to_valid_json() {
+        let events = [
+            Event::Heartbeat {
+                replication: 7,
+                frame: 40_960,
+            },
+            Event::CheckpointFallback {
+                path: "shard-0/ckpt".into(),
+                error: "checksum mismatch".into(),
+                recovered: true,
+            },
+            Event::CampaignStart {
+                shards: 4,
+                replications: 60,
+            },
+            Event::WorkerSpawned {
+                shard: 2,
+                attempt: 1,
+                pid: 4321,
+            },
+            Event::WorkerExited {
+                shard: 2,
+                attempt: 1,
+                code: -1,
+            },
+            Event::WorkerStalled {
+                shard: 1,
+                attempt: 2,
+                silent_ms: 1500,
+            },
+            Event::WorkerRestarted {
+                shard: 2,
+                attempt: 2,
+                backoff_ms: 250,
+            },
+            Event::ShardCompleted {
+                shard: 2,
+                replications: 15,
+                attempts: 2,
+            },
+            Event::ShardQuarantined {
+                shard: 3,
+                attempts: 3,
+                completed: 4,
+            },
+            Event::CampaignEnd {
+                shards: 4,
+                quarantined: 1,
+                requested: 60,
+                completed: 49,
+                restarts: 3,
+                duration_ns: 9_000_000_000,
+            },
+        ];
+        for ev in &events {
+            let line = event_to_json(ev);
+            validate_line(&line).unwrap_or_else(|e| panic!("{}: {e}\n{line}", ev.kind()));
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", ev.kind())),
+                "{line}"
+            );
+        }
+        // Negative exit codes survive the round trip as JSON numbers.
+        let line = event_to_json(&events[4]);
+        assert!(line.contains("\"code\":-1"), "{line}");
+    }
+
+    #[test]
+    fn flat_object_parser_reads_scalars() {
+        let line = "{\"type\":\"worker_exited\",\"shard\":2,\"attempt\":1,\"code\":-1,\
+                    \"note\":\"a \\\"q\\\"\",\"flag\":true,\"none\":null,\"x\":2.5e-3}";
+        let fields = parse_flat_object(line).expect("parses");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("type"), Some(JsonScalar::String("worker_exited".into())));
+        assert_eq!(get("shard").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(get("code").and_then(|v| v.as_f64()), Some(-1.0));
+        assert_eq!(get("note"), Some(JsonScalar::String("a \"q\"".into())));
+        assert_eq!(get("flag"), Some(JsonScalar::Bool(true)));
+        assert_eq!(get("none"), Some(JsonScalar::Null));
+        assert!((get("x").and_then(|v| v.as_f64()).unwrap() - 2.5e-3).abs() < 1e-15);
+        // as_u64 rejects negatives and fractions.
+        assert_eq!(get("code").and_then(|v| v.as_u64()), None);
+        assert_eq!(get("x").and_then(|v| v.as_u64()), None);
+
+        assert!(parse_flat_object("{\"a\":[1]}").is_err(), "nested rejected");
+        assert!(parse_flat_object("not json").is_err());
+        assert_eq!(parse_flat_object("{}").expect("empty ok"), vec![]);
+    }
+
+    #[test]
+    fn every_emitted_event_round_trips_through_flat_parser() {
+        let ev = Event::ReplicationEnd {
+            replication: 3,
+            seed: 0xFFFF_FFFF_FFFF_FFFF,
+            frames: 525_000,
+            duration_ns: 830_000_000,
+            clr_b0: 3.89e-6,
+        };
+        let fields = parse_flat_object(&event_to_json(&ev)).expect("flat");
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+        assert_eq!(
+            get("type"),
+            Some(JsonScalar::String("replication_end".into()))
+        );
+        assert_eq!(get("replication").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(get("frames").and_then(|v| v.as_u64()), Some(525_000));
+    }
+
+    #[test]
+    fn append_mode_preserves_existing_lines() {
+        let dir = std::env::temp_dir().join("vbr_obs_jsonl_append_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        {
+            let rec = JsonlRecorder::create(&path).expect("create");
+            rec.record(&Event::Progress {
+                completed: 1,
+                requested: 2,
+            });
+        }
+        {
+            let rec = JsonlRecorder::append(&path).expect("append");
+            rec.record(&Event::Progress {
+                completed: 2,
+                requested: 2,
+            });
+        }
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body.lines().count(), 2, "append kept the first line");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -41,7 +41,7 @@ pub mod prometheus;
 pub mod recorder;
 pub mod span;
 
-pub use jsonl::JsonlRecorder;
+pub use jsonl::{JsonScalar, JsonlRecorder};
 pub use metrics::{
     Counter, FloatCounter, Gauge, GuardTripCounters, Histogram, HistogramSnapshot,
     MetricsSnapshot, P2Snapshot, P2Summary, PipelineMetrics,

@@ -180,6 +180,16 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Adds another snapshot's counts into this one (same binning for every
+    /// histogram, so bucketwise addition is exact).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// `(upper_bound, cumulative_count)` pairs over the non-trivial prefix
     /// of the bucket range, ending with `(+inf, count)` — the shape the
     /// Prometheus text exposition needs.
@@ -455,6 +465,30 @@ pub struct MetricsSnapshot {
     pub guard_trips_aggregate: u64,
     /// Guard trips in queue state.
     pub guard_trips_queue: u64,
+}
+
+impl MetricsSnapshot {
+    /// Merges another run's snapshot into this one (campaign aggregation
+    /// across worker processes): counters and histograms add exactly, the
+    /// replication-duration P² summary merges count-weighted
+    /// ([`P2Snapshot::merge`]), and throughput gauges add (workers run
+    /// concurrently, so aggregate cells/sec is the sum).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.frames += other.frames;
+        self.batches += other.batches;
+        self.cells_offered += other.cells_offered;
+        self.cells_lost_b0 += other.cells_lost_b0;
+        self.replications_completed += other.replications_completed;
+        self.replications_timed_out += other.replications_timed_out;
+        self.checkpoint_saves += other.checkpoint_saves;
+        self.queue_depth.merge(&other.queue_depth);
+        self.batch_ns.merge(&other.batch_ns);
+        self.rep_duration_s.merge(&other.rep_duration_s);
+        self.cells_per_sec += other.cells_per_sec;
+        self.guard_trips_source += other.guard_trips_source;
+        self.guard_trips_aggregate += other.guard_trips_aggregate;
+        self.guard_trips_queue += other.guard_trips_queue;
+    }
 }
 
 #[cfg(test)]

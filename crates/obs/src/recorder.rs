@@ -107,6 +107,106 @@ pub enum Event {
         /// Replications requested.
         requested: usize,
     },
+    /// Liveness beat emitted mid-replication (at most once per configured
+    /// interval per worker thread) so a supervising process can tell a slow
+    /// replication from a hung one.
+    Heartbeat {
+        /// Replication currently executing.
+        replication: usize,
+        /// Frames completed within that replication (warmup included).
+        frame: u64,
+    },
+    /// A primary checkpoint file was unusable (truncated / corrupt / failed
+    /// its checksum) and the run fell back — to the previous atomic version
+    /// if one loaded, otherwise to a fresh start.
+    CheckpointFallback {
+        /// Path of the unusable primary checkpoint.
+        path: String,
+        /// Why the primary could not be used.
+        error: String,
+        /// True if the previous atomic version was loaded; false if the run
+        /// had to start from scratch.
+        recovered: bool,
+    },
+    /// A supervised campaign began.
+    CampaignStart {
+        /// Worker shards planned.
+        shards: usize,
+        /// Total replications across all shards.
+        replications: usize,
+    },
+    /// The supervisor spawned a worker process for a shard.
+    WorkerSpawned {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// OS process id of the worker.
+        pid: u32,
+    },
+    /// A worker process exited (or failed to spawn).
+    WorkerExited {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Exit code; `-1` = killed by a signal, `-2` = spawn failed.
+        code: i64,
+    },
+    /// A worker went silent past the heartbeat deadline; the supervisor is
+    /// killing it.
+    WorkerStalled {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// How long the worker had been silent, ms.
+        silent_ms: u64,
+    },
+    /// The supervisor is restarting a failed worker after backoff; the new
+    /// attempt resumes from the shard's checkpoint.
+    WorkerRestarted {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number the restart begins (1-based).
+        attempt: u32,
+        /// Backoff slept before the restart, ms.
+        backoff_ms: u64,
+    },
+    /// A shard finished all of its replications.
+    ShardCompleted {
+        /// Shard index.
+        shard: usize,
+        /// Replications the shard completed.
+        replications: usize,
+        /// Attempts it took.
+        attempts: u32,
+    },
+    /// A shard exhausted its retry budget; whatever its checkpoint holds is
+    /// merged as an honestly-labeled partial result.
+    ShardQuarantined {
+        /// Shard index.
+        shard: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Replications recovered from the shard's checkpoint.
+        completed: usize,
+    },
+    /// Terminal campaign provenance. Always the last event of a campaign.
+    CampaignEnd {
+        /// Shards planned.
+        shards: usize,
+        /// Shards quarantined.
+        quarantined: usize,
+        /// Replications requested across all shards.
+        requested: usize,
+        /// Replications in the merged estimates.
+        completed: usize,
+        /// Worker restarts across the campaign.
+        restarts: usize,
+        /// Campaign wall time, ns.
+        duration_ns: u64,
+    },
     /// Terminal provenance record: how the run's results relate to what was
     /// asked for. Always the last event of a completed run.
     RunEnd {
@@ -138,6 +238,16 @@ impl Event {
             Event::GuardTrip { .. } => "guard_trip",
             Event::WatchdogTimeout { .. } => "watchdog_timeout",
             Event::BudgetExhausted { .. } => "budget_exhausted",
+            Event::Heartbeat { .. } => "heartbeat",
+            Event::CheckpointFallback { .. } => "checkpoint_fallback",
+            Event::CampaignStart { .. } => "campaign_start",
+            Event::WorkerSpawned { .. } => "worker_spawned",
+            Event::WorkerExited { .. } => "worker_exited",
+            Event::WorkerStalled { .. } => "worker_stalled",
+            Event::WorkerRestarted { .. } => "worker_restarted",
+            Event::ShardCompleted { .. } => "shard_completed",
+            Event::ShardQuarantined { .. } => "shard_quarantined",
+            Event::CampaignEnd { .. } => "campaign_end",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -166,6 +276,22 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
+    /// Merges another run's summary into this one (for campaign-level
+    /// aggregation across worker processes): provenance counters add,
+    /// metrics merge count-weighted ([`MetricsSnapshot::merge`]), stage
+    /// tables add, wall time takes the max (workers run concurrently), and
+    /// `budget_exhausted` ORs.
+    pub fn merge(&mut self, other: &RunSummary) {
+        self.requested += other.requested;
+        self.completed += other.completed;
+        self.timed_out += other.timed_out;
+        self.resumed += other.resumed;
+        self.budget_exhausted |= other.budget_exhausted;
+        self.wall = self.wall.max(other.wall);
+        self.metrics.merge(&other.metrics);
+        self.stages.merge(&other.stages);
+    }
+
     /// Renders the human-readable run summary: provenance (including
     /// `timed_out` and `budget_exhausted`), throughput, and the per-stage
     /// table (stage, calls, total ms, % of run).

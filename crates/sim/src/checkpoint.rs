@@ -11,9 +11,16 @@
 //! are stored as their IEEE-754 bit patterns in hex (`to_bits`), so the
 //! round-trip is exact — the resumed run's pooled CLR matches an
 //! uninterrupted run to the last bit. A trailer line (`end <count>`) makes
-//! truncation (the writing process died mid-write) detectable; writes go to
-//! a temp file first and are atomically renamed into place so a crash never
-//! corrupts an existing good checkpoint.
+//! truncation (the writing process died mid-write) detectable, and a final
+//! `checksum` line (FNV-1a over every preceding byte, v2+) catches silent
+//! content corruption; writes go to a temp file first and are atomically
+//! renamed into place so a crash never corrupts an existing good checkpoint.
+//!
+//! Saves additionally **rotate**: the previous good checkpoint survives as a
+//! `.prev` sibling, and [`load_with_fallback`] degrades a corrupt primary to
+//! that previous version (or a fresh start) with a recorded event instead of
+//! failing the run — a supervisor restarting a crashed worker must never be
+//! stopped by the wreckage the crash left behind.
 
 use crate::error::{CheckpointErrorKind, SimError};
 use crate::queue::{BopEstimator, LossAccount};
@@ -22,10 +29,32 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. v2 adds the trailing `checksum` line;
+/// v1 files (no checksum) still load.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Oldest format version this build still reads.
+pub const CHECKPOINT_MIN_VERSION: u32 = 1;
 
 const MAGIC: &str = "vbr-sim-checkpoint";
+
+/// FNV-1a over a byte slice — the same hash the config fingerprint uses,
+/// reused for the whole-file content checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Path of the rotated previous checkpoint (`<file>.prev` sibling).
+pub(crate) fn prev_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".prev");
+    path.with_file_name(name)
+}
 
 /// When and where the runner persists completed replications.
 #[derive(Debug, Clone)]
@@ -113,6 +142,10 @@ pub(crate) fn render(config: &SimConfig, results: &BTreeMap<usize, RepResult>) -
         }
     }
     let _ = writeln!(out, "end {}", results.len());
+    // Content checksum over every byte above, so corruption that happens to
+    // keep lines parseable (bit flips inside a hex payload) is still caught.
+    let sum = fnv1a(out.as_bytes());
+    let _ = writeln!(out, "checksum {sum:016x}");
     out
 }
 
@@ -128,6 +161,14 @@ pub(crate) fn save(
     let tmp = policy.path.with_extension("ckpt.tmp");
     std::fs::write(&tmp, body)
         .map_err(|e| SimError::io(format!("writing checkpoint {}", tmp.display()), e))?;
+    // Rotate the current good checkpoint to its `.prev` sibling so a later
+    // corrupt primary can fall back to it. Absence is fine (first save).
+    if policy.path.exists() {
+        let prev = prev_path(&policy.path);
+        std::fs::rename(&policy.path, &prev).map_err(|e| {
+            SimError::io(format!("rotating checkpoint to {}", prev.display()), e)
+        })?;
+    }
     std::fs::rename(&tmp, &policy.path).map_err(|e| {
         SimError::io(
             format!("renaming checkpoint into place at {}", policy.path.display()),
@@ -143,11 +184,12 @@ pub(crate) fn parse(
     path: &Path,
     config: &SimConfig,
 ) -> Result<BTreeMap<usize, RepResult>, SimError> {
-    let mut lines = text.lines().enumerate();
     let n_buffers = config.buffers_total.len();
 
-    // Header: magic + version.
-    let (_, header) = lines
+    // Header: magic + version — peeked first, because the version decides
+    // whether a content checksum must be verified before anything else.
+    let header = text
+        .lines()
         .next()
         .ok_or_else(|| ckpt_err(path, CheckpointErrorKind::Truncated))?;
     let version = header
@@ -156,7 +198,7 @@ pub(crate) fn parse(
         .and_then(|v| v.strip_prefix('v'))
         .and_then(|v| v.parse::<u32>().ok())
         .ok_or_else(|| ckpt_err(path, CheckpointErrorKind::BadHeader(header.into())))?;
-    if version != CHECKPOINT_VERSION {
+    if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
         return Err(ckpt_err(
             path,
             CheckpointErrorKind::VersionMismatch {
@@ -165,6 +207,25 @@ pub(crate) fn parse(
             },
         ));
     }
+
+    // v2+: the final line is `checksum <hex>` over every preceding byte.
+    let body = if version >= 2 {
+        let (body, found) = split_checksum(text)
+            .ok_or_else(|| ckpt_err(path, CheckpointErrorKind::Truncated))?;
+        let expected = fnv1a(body.as_bytes());
+        if found != expected {
+            return Err(ckpt_err(
+                path,
+                CheckpointErrorKind::ChecksumMismatch { found, expected },
+            ));
+        }
+        body
+    } else {
+        text
+    };
+
+    let mut lines = body.lines().enumerate();
+    let _ = lines.next(); // header, parsed above
 
     // Fixed preamble: fingerprint, buffer count, bop flag.
     let mut expect_field = |name: &'static str| -> Result<(usize, String), SimError> {
@@ -330,13 +391,119 @@ pub(crate) fn parse(
     Ok(results)
 }
 
+/// Splits off the trailing `checksum <hex>` line: returns the body it covers
+/// (everything up to and including the newline before it) and the recorded
+/// sum. `None` if the file does not end in a well-formed checksum line.
+fn split_checksum(text: &str) -> Option<(&str, u64)> {
+    let trimmed = text.trim_end();
+    let idx = trimmed.rfind('\n')?;
+    let hex = trimmed[idx + 1..].strip_prefix("checksum ")?;
+    let found = u64::from_str_radix(hex.trim(), 16).ok()?;
+    Some((&text[..idx + 1], found))
+}
+
 /// Loads and validates a checkpoint against the current config. Returns the
 /// completed replication results keyed by replication index.
 pub(crate) fn load(
     path: &Path,
     config: &SimConfig,
 ) -> Result<BTreeMap<usize, RepResult>, SimError> {
-    let text = std::fs::read_to_string(path)
+    let bytes = std::fs::read(path)
         .map_err(|e| SimError::io(format!("reading checkpoint {}", path.display()), e))?;
+    // A flipped byte can take the file out of UTF-8 entirely; that is file
+    // damage (fallback-eligible), not an I/O failure (hard error).
+    let text = String::from_utf8(bytes).map_err(|e| SimError::Checkpoint {
+        path: path.to_path_buf(),
+        kind: CheckpointErrorKind::Parse {
+            line: 0,
+            message: format!("not valid UTF-8: {e}"),
+        },
+    })?;
     parse(&text, path, config)
+}
+
+/// Validates the checkpoint at `path` against `config` and returns how many
+/// completed replications it holds. This is the supervisor's integrity probe
+/// (is a shard's checkpoint complete?) and the direct way for tests to
+/// assert the typed error a damaged file produces.
+pub fn verify(path: &Path, config: &SimConfig) -> Result<usize, SimError> {
+    load(path, config).map(|results| results.len())
+}
+
+/// How a resume degraded when the primary checkpoint was unusable.
+#[derive(Debug, Clone)]
+pub(crate) struct FallbackInfo {
+    /// Rendered error the primary failed with.
+    pub error: String,
+    /// True if the rotated `.prev` version loaded; false if the run had to
+    /// start fresh.
+    pub recovered: bool,
+}
+
+/// True for damage a crashed writer can inflict (and a fallback can heal);
+/// false for errors that mean the *request* is wrong (config/version
+/// mismatch) or the filesystem is failing, which must stay fatal.
+fn is_corruption(e: &SimError) -> bool {
+    matches!(
+        e,
+        SimError::Checkpoint {
+            kind: CheckpointErrorKind::BadHeader(_)
+                | CheckpointErrorKind::Truncated
+                | CheckpointErrorKind::Parse { .. }
+                | CheckpointErrorKind::ChecksumMismatch { .. },
+            ..
+        }
+    )
+}
+
+/// Loads the checkpoint at `path`, degrading through the fallback chain on
+/// corruption: primary → rotated `.prev` → fresh start. Returns the results
+/// plus `Some(FallbackInfo)` when the primary was unusable (so the caller
+/// can emit a `CheckpointFallback` event). Config/version mismatches and
+/// I/O failures other than absence stay hard errors.
+pub(crate) fn load_with_fallback(
+    path: &Path,
+    config: &SimConfig,
+) -> Result<(BTreeMap<usize, RepResult>, Option<FallbackInfo>), SimError> {
+    let prev = prev_path(path);
+    if !path.exists() {
+        // A crash between the two rotation renames can leave only `.prev`;
+        // treat it as the checkpoint rather than silently starting over.
+        if prev.exists() {
+            let results = load(&prev, config)?;
+            return Ok((
+                results,
+                Some(FallbackInfo {
+                    error: format!("{} missing (crash during rotation)", path.display()),
+                    recovered: true,
+                }),
+            ));
+        }
+        return Ok((BTreeMap::new(), None));
+    }
+    match load(path, config) {
+        Ok(results) => Ok((results, None)),
+        Err(e) if is_corruption(&e) => {
+            let error = e.to_string();
+            if prev.exists() {
+                if let Ok(results) = load(&prev, config) {
+                    return Ok((
+                        results,
+                        Some(FallbackInfo {
+                            error,
+                            recovered: true,
+                        }),
+                    ));
+                }
+            }
+            Ok((
+                BTreeMap::new(),
+                Some(FallbackInfo {
+                    error,
+                    recovered: false,
+                }),
+            ))
+        }
+        Err(e) => Err(e),
+    }
 }

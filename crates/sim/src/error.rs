@@ -78,6 +78,14 @@ pub enum CheckpointErrorKind {
     },
     /// File ends before its own trailer — the writing process died mid-write.
     Truncated,
+    /// The content checksum recorded in the file does not match its bytes —
+    /// silent corruption that kept every line individually parseable.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        found: u64,
+        /// Checksum of the file's actual content.
+        expected: u64,
+    },
     /// A line failed to parse.
     Parse {
         /// 1-based line number.
@@ -99,6 +107,10 @@ impl fmt::Display for CheckpointErrorKind {
                 "config fingerprint {found:#x} does not match current config {expected:#x}"
             ),
             CheckpointErrorKind::Truncated => write!(f, "file truncated (missing trailer)"),
+            CheckpointErrorKind::ChecksumMismatch { found, expected } => write!(
+                f,
+                "content checksum {found:#x} does not match file bytes {expected:#x}"
+            ),
             CheckpointErrorKind::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

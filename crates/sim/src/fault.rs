@@ -1,0 +1,246 @@
+//! Fault-injection harness for the chaos tests and the CI chaos-smoke job.
+//!
+//! A worker process reads `VBR_FAULT` at run start and, when the configured
+//! replication begins on the configured attempt, injects one of three
+//! failures the supervisor must survive:
+//!
+//! * `crash@r[:k]` — exit immediately with [`FAULT_EXIT_CODE`], simulating a
+//!   SIGKILLed / OOM-killed worker,
+//! * `hang@r[:k]` — stop making progress forever (heartbeats cease), so the
+//!   supervisor's stall detector has something to detect,
+//! * `corrupt-checkpoint@r[:k]` — flip a byte in the middle of the shard's
+//!   checkpoint file and then crash, so the restarted attempt exercises the
+//!   checksum + fallback path.
+//!
+//! `r` is the replication index; `k` is the 1-based worker attempt the fault
+//! fires on (default 1 — fault once, recover on retry; `*` fires on every
+//! attempt, which is how the quarantine path is tested). The current attempt
+//! number arrives in `VBR_WORKER_ATTEMPT`, set by the supervisor. Several
+//! comma-separated specs compose: one campaign can take a crash, a hang and
+//! a corrupt checkpoint in different shards.
+//!
+//! The hooks live in the production worker loop on purpose — fault paths
+//! that only exist in test binaries drift from the code that actually runs —
+//! but cost two env reads per run when `VBR_FAULT` is unset.
+
+use std::path::Path;
+
+/// Environment variable holding the fault spec(s).
+pub const FAULT_ENV: &str = "VBR_FAULT";
+
+/// Environment variable the supervisor sets to the worker's 1-based attempt.
+pub const ATTEMPT_ENV: &str = "VBR_WORKER_ATTEMPT";
+
+/// Exit code of an injected crash — distinguishable from a clean exit (0),
+/// a typed-error exit (1) and a signal kill (no code) in the supervisor's
+/// `worker_exited` events.
+pub const FAULT_EXIT_CODE: i32 = 86;
+
+/// What to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Exit with [`FAULT_EXIT_CODE`] immediately.
+    Crash,
+    /// Stop making progress forever (the supervisor must kill us).
+    Hang,
+    /// Damage the checkpoint file, then crash.
+    CorruptCheckpoint,
+}
+
+/// When to inject: on which attempt(s) of the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptMatch {
+    /// A specific 1-based attempt.
+    Only(u32),
+    /// Every attempt — the permanent-failure / quarantine scenario.
+    Every,
+}
+
+/// One parsed `kind@rep[:attempt]` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FaultSpec {
+    kind: FaultKind,
+    replication: usize,
+    attempt: AttemptMatch,
+}
+
+/// The process's parsed fault configuration. Empty (the overwhelmingly
+/// common case) when `VBR_FAULT` is unset.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    attempt: u32,
+}
+
+impl FaultPlan {
+    /// Parses `VBR_FAULT` / `VBR_WORKER_ATTEMPT` from the environment.
+    /// Malformed specs are ignored with a note on stderr rather than
+    /// failing the run — chaos tooling must never be able to break a
+    /// production campaign harder than the fault it was trying to inject.
+    pub fn from_env() -> Self {
+        let Ok(raw) = std::env::var(FAULT_ENV) else {
+            return Self::default();
+        };
+        let attempt = std::env::var(ATTEMPT_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .unwrap_or(1);
+        Self::parse(&raw, attempt)
+    }
+
+    /// Parses a comma-separated spec list with the given current attempt.
+    pub(crate) fn parse(raw: &str, attempt: u32) -> Self {
+        let mut specs = Vec::new();
+        for part in raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match parse_spec(part) {
+                Some(spec) => specs.push(spec),
+                None => eprintln!("[vbr-sim] ignoring malformed {FAULT_ENV} spec {part:?}"),
+            }
+        }
+        Self { specs, attempt }
+    }
+
+    /// True if no faults are configured (the fast path).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The fault to fire when `replication` starts on this attempt, if any.
+    fn matching(&self, replication: usize) -> Option<FaultKind> {
+        self.specs
+            .iter()
+            .find(|s| {
+                s.replication == replication
+                    && match s.attempt {
+                        AttemptMatch::Only(k) => k == self.attempt,
+                        AttemptMatch::Every => true,
+                    }
+            })
+            .map(|s| s.kind)
+    }
+
+    /// Fires the configured fault for `replication`, if any. `checkpoint` is
+    /// the shard's checkpoint path, needed by the corrupt-checkpoint fault.
+    /// Does not return when a fault fires.
+    pub fn maybe_trigger(&self, replication: usize, checkpoint: Option<&Path>) {
+        let Some(kind) = self.matching(replication) else {
+            return;
+        };
+        match kind {
+            FaultKind::Crash => {
+                eprintln!("[vbr-sim] injected crash at replication {replication}");
+                std::process::exit(FAULT_EXIT_CODE);
+            }
+            FaultKind::Hang => {
+                eprintln!("[vbr-sim] injected hang at replication {replication}");
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            FaultKind::CorruptCheckpoint => {
+                if let Some(path) = checkpoint {
+                    corrupt_file(path);
+                }
+                eprintln!(
+                    "[vbr-sim] injected checkpoint corruption + crash at replication {replication}"
+                );
+                std::process::exit(FAULT_EXIT_CODE);
+            }
+        }
+    }
+}
+
+fn parse_spec(part: &str) -> Option<FaultSpec> {
+    let (kind_str, rest) = part.split_once('@')?;
+    let kind = match kind_str {
+        "crash" => FaultKind::Crash,
+        "hang" => FaultKind::Hang,
+        "corrupt-checkpoint" => FaultKind::CorruptCheckpoint,
+        _ => return None,
+    };
+    let (rep_str, attempt) = match rest.split_once(':') {
+        Some((r, "*")) => (r, AttemptMatch::Every),
+        Some((r, k)) => (r, AttemptMatch::Only(k.trim().parse().ok()?)),
+        None => (rest, AttemptMatch::Only(1)),
+    };
+    Some(FaultSpec {
+        kind,
+        replication: rep_str.trim().parse().ok()?,
+        attempt,
+    })
+}
+
+/// Flips one byte in the middle of the file — enough to fail the v2 content
+/// checksum while keeping the file superficially well-formed. A short or
+/// unreadable file is truncated instead (also detectable damage).
+fn corrupt_file(path: &Path) {
+    match std::fs::read(path) {
+        Ok(mut bytes) if bytes.len() > 64 => {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            let _ = std::fs::write(path, bytes);
+        }
+        _ => {
+            let _ = std::fs::write(path, b"vbr-sim-checkpoint v2\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_compound_specs() {
+        let plan = FaultPlan::parse("crash@3", 1);
+        assert_eq!(plan.matching(3), Some(FaultKind::Crash));
+        assert_eq!(plan.matching(2), None);
+
+        let plan = FaultPlan::parse("crash@3:2, hang@5 ,corrupt-checkpoint@0:*", 2);
+        assert_eq!(plan.matching(3), Some(FaultKind::Crash));
+        assert_eq!(plan.matching(5), None, "hang@5 defaults to attempt 1");
+        assert_eq!(plan.matching(0), Some(FaultKind::CorruptCheckpoint));
+    }
+
+    #[test]
+    fn attempt_scoping_controls_refire() {
+        // Default attempt 1: fires on the first attempt only.
+        assert_eq!(
+            FaultPlan::parse("crash@4", 1).matching(4),
+            Some(FaultKind::Crash)
+        );
+        assert_eq!(FaultPlan::parse("crash@4", 2).matching(4), None);
+        // `*`: fires on every attempt (the quarantine scenario).
+        for attempt in 1..=5 {
+            assert_eq!(
+                FaultPlan::parse("crash@4:*", attempt).matching(4),
+                Some(FaultKind::Crash)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_ignored_not_fatal() {
+        for bad in ["crash", "crash@", "crash@x", "explode@3", "crash@3:y", ""] {
+            let plan = FaultPlan::parse(bad, 1);
+            assert!(plan.is_empty(), "{bad:?} should parse to nothing");
+        }
+        // A bad spec does not poison the good ones around it.
+        let plan = FaultPlan::parse("nonsense,crash@1", 1);
+        assert_eq!(plan.matching(1), Some(FaultKind::Crash));
+    }
+
+    #[test]
+    fn corrupt_file_flips_content() {
+        let dir = std::env::temp_dir().join("vbr_sim_fault_corrupt_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("x.ckpt");
+        let body: Vec<u8> = (0..200u8).collect();
+        std::fs::write(&path, &body).expect("write");
+        corrupt_file(&path);
+        let after = std::fs::read(&path).expect("read");
+        assert_eq!(after.len(), body.len());
+        assert_ne!(after, body);
+        let _ = std::fs::remove_file(&path);
+    }
+}

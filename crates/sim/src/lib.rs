@@ -42,12 +42,15 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod campaign;
 pub mod cell;
 pub mod checkpoint;
 pub mod error;
+pub mod fault;
 pub mod guard;
 pub mod priority;
 pub mod queue;
+pub mod retry;
 pub mod runner;
 pub mod switch;
 pub mod trace;
@@ -55,14 +58,22 @@ pub mod trace;
 pub use vbr_obs as obs;
 pub use vbr_obs::{Event, MemoryRecorder, Recorder, RunSummary, Telemetry};
 
+pub use campaign::{
+    plan_shards, run_campaign, CampaignOptions, CampaignOutcome, CampaignReport, ShardPlan,
+    ShardReport,
+};
 pub use cell::CellMultiplexer;
-pub use checkpoint::{config_fingerprint, CheckpointPolicy, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    config_fingerprint, verify as verify_checkpoint, CheckpointPolicy, CHECKPOINT_MIN_VERSION,
+    CHECKPOINT_VERSION,
+};
 pub use error::{CheckpointErrorKind, FaultSite, NumericFault, SimError};
 pub use guard::Guard;
 pub use priority::PriorityQueue;
 pub use switch::{OutputQueuedSwitch, PortConfig};
 pub use trace::TraceProcess;
 pub use queue::{BopEstimator, FluidQueue, LossAccount};
+pub use retry::RetryPolicy;
 pub use runner::{
     run, run_mix, simulate_clr, simulate_clr_mix, ClrEstimate, Provenance, RunOptions, SimConfig,
     SimOutcome, SourceMix, Watchdog,

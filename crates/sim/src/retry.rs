@@ -1,0 +1,120 @@
+//! Retry policy for supervised campaign workers: bounded attempts,
+//! exponential backoff, deterministic seeded jitter.
+//!
+//! Jitter prevents restart stampedes (every shard of a killed machine
+//! retrying in lock-step), but random jitter would make campaign telemetry
+//! unreproducible. So the jitter factor is drawn from a stream seeded by
+//! `(campaign seed, shard, attempt)` — two runs of the same campaign back
+//! off identically, while different shards and attempts spread out.
+
+use std::time::Duration;
+use vbr_stats::rng::Xoshiro256PlusPlus;
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum worker attempts per shard (1 = no retries). A shard failing
+    /// this many times is quarantined: its checkpointed partial results are
+    /// merged and honestly labeled, but it stops consuming the campaign.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Jitter half-width as a fraction of the backoff: the slept duration is
+    /// uniform in `backoff · [1 − jitter, 1 + jitter]`. `0.0` disables.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base: Duration::from_millis(200),
+            cap: Duration::from_secs(10),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// True if a shard that just failed its `attempt`-th try (1-based) may
+    /// be retried.
+    pub fn may_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Backoff to sleep before starting attempt `attempt + 1`, given the
+    /// just-failed 1-based `attempt`. Deterministic in
+    /// `(seed, shard, attempt)`.
+    pub fn backoff(&self, seed: u64, shard: usize, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << (attempt - 1).min(20))
+            .min(self.cap);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        // FNV-1a over (seed, shard, attempt) seeds the jitter stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [seed, shard as u64, u64::from(attempt)] {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(h);
+        let u = rng.next_f64(); // [0, 1)
+        let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
+        Duration::from_secs_f64((exp.as_secs_f64() * factor).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff(1, 0, 1), Duration::from_millis(100));
+        assert_eq!(p.backoff(1, 0, 2), Duration::from_millis(200));
+        assert_eq!(p.backoff(1, 0, 3), Duration::from_millis(400));
+        assert_eq!(p.backoff(1, 0, 6), Duration::from_secs(2), "capped");
+        assert_eq!(p.backoff(1, 0, 30), Duration::from_secs(2), "shift-safe");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let a = p.backoff(42, 3, 2);
+        let b = p.backoff(42, 3, 2);
+        assert_eq!(a, b, "same (seed, shard, attempt) ⇒ same backoff");
+        let c = p.backoff(42, 4, 2);
+        assert_ne!(a, c, "different shard ⇒ different jitter");
+        let exp = Duration::from_millis(400).as_secs_f64();
+        for shard in 0..50 {
+            let d = p.backoff(42, shard, 2).as_secs_f64();
+            assert!((exp * 0.5..=exp * 1.5).contains(&d), "{d} out of band");
+        }
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.may_retry(1));
+        assert!(p.may_retry(2));
+        assert!(!p.may_retry(3), "third failure quarantines");
+    }
+}

@@ -26,6 +26,7 @@
 
 use crate::checkpoint::{self, CheckpointPolicy};
 use crate::error::SimError;
+use crate::fault;
 use crate::guard::Guard;
 use crate::queue::{BopEstimator, FluidQueue, LossAccount};
 use std::collections::BTreeMap;
@@ -199,6 +200,17 @@ pub struct RunOptions {
     /// and delivers a [`RunSummary`] at run end. Never touches an RNG:
     /// results are bit-identical with or without a recorder.
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// Restrict the run to this half-open range of replication indices — a
+    /// campaign **shard**. Replication `r` is always seeded `root.split(r)`,
+    /// so shards computed in separate processes union bit-identically into
+    /// the full run. `None` = all of `0..config.replications`. Provenance
+    /// (`requested`) counts the range, not the config total.
+    pub replication_range: Option<std::ops::Range<usize>>,
+    /// Emit [`Event::Heartbeat`] at most once per this interval per worker
+    /// thread while a replication computes, so an external supervisor can
+    /// tell a slow replication from a hung one. `None` (default) = no
+    /// heartbeats. Requires a recorder to have any effect.
+    pub heartbeat: Option<Duration>,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -208,7 +220,41 @@ impl std::fmt::Debug for RunOptions {
             .field("watchdog", &self.watchdog)
             .field("threads", &self.threads)
             .field("recorder", &self.recorder.as_ref().map(|_| "Recorder"))
+            .field("replication_range", &self.replication_range)
+            .field("heartbeat", &self.heartbeat)
             .finish()
+    }
+}
+
+impl RunOptions {
+    /// The replication indices this run computes: the configured shard
+    /// range, or all of `0..config.replications`.
+    pub(crate) fn range(&self, config: &SimConfig) -> std::ops::Range<usize> {
+        self.replication_range
+            .clone()
+            .unwrap_or(0..config.replications)
+    }
+
+    /// Validates the shard range against the config.
+    fn validate_range(&self, config: &SimConfig) -> Result<(), SimError> {
+        if let Some(r) = &self.replication_range {
+            if r.start >= r.end {
+                return Err(SimError::invalid_config(
+                    "replication_range",
+                    format!("empty range {}..{}", r.start, r.end),
+                ));
+            }
+            if r.end > config.replications {
+                return Err(SimError::invalid_config(
+                    "replication_range",
+                    format!(
+                        "range {}..{} exceeds config.replications = {}",
+                        r.start, r.end, config.replications
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -383,20 +429,23 @@ fn run_replication(
     rep: usize,
     root: &Xoshiro256PlusPlus,
     watchdog: &Watchdog,
+    heartbeat: Option<Duration>,
     obs: Option<&ObsCtx>,
 ) -> Result<RepResult, RepFailure> {
     let sources: Vec<Box<dyn FrameProcess>> = (0..config.n_sources)
         .map(|_| prototype.boxed_clone())
         .collect();
-    run_replication_sources(sources, config, rep, root, watchdog, obs)
+    run_replication_sources(sources, config, rep, root, watchdog, heartbeat, obs)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_replication_sources(
     mut sources: Vec<Box<dyn FrameProcess>>,
     config: &SimConfig,
     rep: usize,
     root: &Xoshiro256PlusPlus,
     watchdog: &Watchdog,
+    heartbeat: Option<Duration>,
     obs: Option<&ObsCtx>,
 ) -> Result<RepResult, RepFailure> {
     let _rep_span = span!("replication");
@@ -432,11 +481,14 @@ fn run_replication_sources(
     // order, queue recursions accumulate in the same order — the batch form
     // only hoists dispatch, guard checks and queue state off the per-frame
     // path.
-    let max_batch = if started.is_some() {
+    // Heartbeats, like the watchdog, need the loop to come up for air often
+    // enough to notice the clock.
+    let max_batch = if started.is_some() || (heartbeat.is_some() && obs.is_some()) {
         WATCHDOG_CHECK_FRAMES
     } else {
         BATCH_FRAMES
     };
+    let mut last_beat = Instant::now();
     let mut aggregate = vec![0.0; max_batch.min(total_frames.max(1))];
     let mut frame = 0usize;
     while frame < total_frames {
@@ -493,6 +545,15 @@ fn run_replication_sources(
         }
         guard.advance_by(batch.len() as u64);
         frame = end;
+        if let (Some(interval), Some(o)) = (heartbeat, obs) {
+            if last_beat.elapsed() >= interval {
+                o.emit(Event::Heartbeat {
+                    replication: rep,
+                    frame: frame as u64,
+                });
+                last_beat = Instant::now();
+            }
+        }
     }
 
     let accounts: Vec<LossAccount> = queues.iter().map(|q| q.account()).collect();
@@ -585,7 +646,7 @@ fn absorb(
             if let Some(o) = obs {
                 o.emit(Event::Progress {
                     completed: state.completed.len(),
-                    requested: config.replications,
+                    requested: options.range(config).len(),
                 });
             }
             if let Some(policy) = &options.checkpoint {
@@ -644,18 +705,32 @@ pub fn run(
     options: &RunOptions,
 ) -> Result<SimOutcome, SimError> {
     config.validate()?;
+    options.validate_range(config)?;
+    let range = options.range(config);
+    let fault_plan = fault::FaultPlan::from_env();
     let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
     let obs = options.recorder.clone().map(ObsCtx::new);
     if let Some(o) = &obs {
-        o.emit(run_start_event(config));
+        o.emit(run_start_event(config, options));
     }
 
-    // Resume: load completed replications, if a readable checkpoint exists.
+    // Resume: load completed replications, degrading through the fallback
+    // chain (primary → rotated `.prev` → fresh) if the primary is corrupt.
     let resumed: BTreeMap<usize, RepResult> = match &options.checkpoint {
-        Some(policy) if policy.path.exists() => checkpoint::load(&policy.path, config)?
-            .into_iter()
-            .filter(|(rep, _)| *rep < config.replications)
-            .collect(),
+        Some(policy) => {
+            let (results, fallback) = checkpoint::load_with_fallback(&policy.path, config)?;
+            if let (Some(o), Some(fb)) = (&obs, &fallback) {
+                o.emit(Event::CheckpointFallback {
+                    path: policy.path.display().to_string(),
+                    error: fb.error.clone(),
+                    recovered: fb.recovered,
+                });
+            }
+            results
+                .into_iter()
+                .filter(|(rep, _)| range.contains(rep))
+                .collect()
+        }
         _ => BTreeMap::new(),
     };
     let n_resumed = resumed.len();
@@ -668,9 +743,7 @@ pub fn run(
             });
         }
     }
-    let remaining: Vec<usize> = (0..config.replications)
-        .filter(|r| !resumed.contains_key(r))
-        .collect();
+    let remaining: Vec<usize> = range.clone().filter(|r| !resumed.contains_key(r)).collect();
 
     let state = Mutex::new(RunState {
         completed: resumed,
@@ -724,6 +797,10 @@ pub fn run(
                     seed: config.seed,
                 });
             }
+            // Chaos hook: a configured fault (VBR_FAULT) fires here, after
+            // the start event is flushed — the supervisor sees exactly which
+            // replication the worker died on.
+            fault_plan.maybe_trigger(rep, options.checkpoint.as_ref().map(|p| p.path.as_path()));
             let rep_t0 = Instant::now();
             let outcome = run_replication(
                 proto.as_ref(),
@@ -731,6 +808,7 @@ pub fn run(
                 rep,
                 &root,
                 &options.watchdog,
+                options.heartbeat,
                 obs.as_ref(),
             );
             if let Err(e) = absorb(
@@ -773,11 +851,12 @@ pub fn run(
     finish(config, options, state, &timed_out, &budget_hit, n_resumed, obs)
 }
 
-/// The `run_start` event for a validated config.
-fn run_start_event(config: &SimConfig) -> Event {
+/// The `run_start` event for a validated config: `replications` counts what
+/// *this* process will run (the shard range, if one is set).
+fn run_start_event(config: &SimConfig, options: &RunOptions) -> Event {
     Event::RunStart {
         seed: config.seed,
-        replications: config.replications,
+        replications: options.range(config).len(),
         n_sources: config.n_sources,
         frames_per_replication: config.frames_per_replication,
         buffers: config.buffers_total.len(),
@@ -800,18 +879,30 @@ pub fn run_mix(
     let mut config = config.clone();
     config.n_sources = mix.total();
     config.validate()?;
+    options.validate_range(&config)?;
+    let range = options.range(&config);
     let root = Xoshiro256PlusPlus::from_seed_u64(config.seed);
     let obs = options.recorder.clone().map(ObsCtx::new);
     if let Some(o) = &obs {
-        o.emit(run_start_event(&config));
+        o.emit(run_start_event(&config, options));
         span::install();
     }
 
     let resumed: BTreeMap<usize, RepResult> = match &options.checkpoint {
-        Some(policy) if policy.path.exists() => checkpoint::load(&policy.path, &config)?
-            .into_iter()
-            .filter(|(rep, _)| *rep < config.replications)
-            .collect(),
+        Some(policy) => {
+            let (results, fallback) = checkpoint::load_with_fallback(&policy.path, &config)?;
+            if let (Some(o), Some(fb)) = (&obs, &fallback) {
+                o.emit(Event::CheckpointFallback {
+                    path: policy.path.display().to_string(),
+                    error: fb.error.clone(),
+                    recovered: fb.recovered,
+                });
+            }
+            results
+                .into_iter()
+                .filter(|(rep, _)| range.contains(rep))
+                .collect()
+        }
         _ => BTreeMap::new(),
     };
     let n_resumed = resumed.len();
@@ -832,7 +923,7 @@ pub fn run_mix(
     let budget_hit = AtomicBool::new(false);
     let run_start = Instant::now();
 
-    for rep in 0..config.replications {
+    for rep in range {
         {
             let has_rep = state
                 .lock()
@@ -867,6 +958,7 @@ pub fn run_mix(
             rep,
             &root,
             &options.watchdog,
+            options.heartbeat,
             obs.as_ref(),
         );
         let absorbed = absorb(
@@ -912,9 +1004,10 @@ fn finish(
     obs: Option<ObsCtx>,
 ) -> Result<SimOutcome, SimError> {
     let timed_out = timed_out.load(Ordering::Relaxed);
+    let requested = options.range(config).len();
     if state.completed.is_empty() {
         return Err(SimError::NoCompletedReplications {
-            requested: config.replications,
+            requested,
             timed_out,
             budget: options.watchdog.run_budget,
         });
@@ -933,7 +1026,7 @@ fn finish(
         }
     }
     let provenance = Provenance {
-        requested: config.replications,
+        requested,
         completed: state.completed.len(),
         timed_out,
         resumed,
@@ -994,7 +1087,12 @@ pub fn simulate_clr_mix(mix: &SourceMix<'_>, config: &SimConfig) -> Result<SimOu
     run_mix(mix, config, &RunOptions::default())
 }
 
-fn collect_outcome(
+/// Assembles the outcome from a completed replication set. `pub(crate)` so
+/// the campaign merge can pool per-shard checkpoint results through the
+/// *same* computation a single-process run uses — pooling is a union of
+/// per-replication accounts, never an average of per-shard averages, which
+/// is what makes the merged CLR bit-identical.
+pub(crate) fn collect_outcome(
     config: &SimConfig,
     results: &BTreeMap<usize, RepResult>,
     provenance: Provenance,

@@ -94,6 +94,7 @@ fn main() -> Result<(), SimError> {
         },
         threads: None,
         recorder,
+        ..RunOptions::default()
     };
     println!("running {reps} replications with checkpoint at {ckpt} ...");
     let out = run(&z, &cfg, &opts)?;
@@ -137,6 +138,7 @@ fn main() -> Result<(), SimError> {
         },
         threads: Some(1),
         recorder: None,
+        ..RunOptions::default()
     };
     let partial = run(&z, &cfg, &strangled)?;
     println!(

@@ -1,0 +1,550 @@
+//! Supervised multi-process CLR campaign driver.
+//!
+//! One binary, three modes:
+//!
+//! * **coordinator** (default): shards the replications, spawns one worker
+//!   process per shard (re-executing itself with `--worker`), supervises
+//!   heartbeats, restarts crashed/hung workers with backoff, quarantines
+//!   permanent failures, and merges the shard checkpoints into one outcome —
+//!   bit-identical to a single-process run.
+//! * **worker** (`--worker`): runs one shard's replication range with
+//!   checkpoint-after-every-replication and heartbeat events on the shard's
+//!   JSONL stream. Honors `VBR_FAULT` chaos specs (see `vbr_sim::fault`).
+//! * **bench** (`--bench OUT.json`): times a fault-free campaign against a
+//!   direct in-process run on the same config and records the supervisor
+//!   overhead plus a bit-identity check.
+//!
+//! The Gaussian AR(1) source keeps the campaign machinery honest without
+//! coupling it to the paper models; the `fig8` campaign recipe in
+//! EXPERIMENTS.md drives the paper pipeline through the same supervisor API.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vbr_models::GaussianAr1;
+use vbr_sim::campaign::{self, CampaignOptions, CampaignOutcome};
+use vbr_sim::obs::JsonlRecorder;
+use vbr_sim::{run, RetryPolicy, RunOptions, SimConfig, SimOutcome};
+
+/// Everything both sides of the fork must agree on. The coordinator forwards
+/// these flags verbatim to every worker so the config fingerprint (and hence
+/// checkpoint compatibility) is identical across processes.
+#[derive(Clone)]
+struct SharedConfig {
+    replications: usize,
+    frames: usize,
+    warmup: Option<usize>,
+    sources: usize,
+    capacity: f64,
+    buffers: Vec<f64>,
+    seed: u64,
+    mean: f64,
+    sd: f64,
+    phi: f64,
+}
+
+impl Default for SharedConfig {
+    fn default() -> Self {
+        Self {
+            replications: 8,
+            frames: 20_000,
+            warmup: None,
+            sources: 4,
+            capacity: 538.0,
+            buffers: vec![0.0, 50.0, 200.0],
+            seed: 7,
+            mean: 500.0,
+            sd: 70.0,
+            phi: 0.8,
+        }
+    }
+}
+
+impl SharedConfig {
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            n_sources: self.sources,
+            capacity_per_source: self.capacity,
+            buffers_total: self.buffers.clone(),
+            frames_per_replication: self.frames,
+            warmup_frames: self.warmup.unwrap_or(self.frames / 20),
+            replications: self.replications,
+            seed: self.seed,
+            ts: 0.04,
+            track_bop: false,
+        }
+    }
+
+    fn prototype(&self) -> GaussianAr1 {
+        GaussianAr1::new(self.mean, self.sd, self.phi)
+    }
+
+    /// The worker argv for these settings (coordinator → worker contract).
+    fn forward_args(&self) -> Vec<String> {
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut args = vec![
+            "--replications".into(),
+            self.replications.to_string(),
+            "--frames".into(),
+            self.frames.to_string(),
+            "--sources".into(),
+            self.sources.to_string(),
+            "--capacity".into(),
+            self.capacity.to_string(),
+            "--buffers".into(),
+            buffers,
+            "--seed".into(),
+            self.seed.to_string(),
+            "--mean".into(),
+            self.mean.to_string(),
+            "--sd".into(),
+            self.sd.to_string(),
+            "--phi".into(),
+            self.phi.to_string(),
+        ];
+        if let Some(w) = self.warmup {
+            args.push("--warmup".into());
+            args.push(w.to_string());
+        }
+        args
+    }
+}
+
+struct CoordinatorConfig {
+    shared: SharedConfig,
+    shards: usize,
+    dir: PathBuf,
+    heartbeat_timeout: Duration,
+    poll: Duration,
+    worker_heartbeat: Duration,
+    max_attempts: u32,
+    backoff_base: Duration,
+    threads: Option<usize>,
+    bench: Option<PathBuf>,
+}
+
+struct WorkerConfig {
+    shared: SharedConfig,
+    range: std::ops::Range<usize>,
+    checkpoint: PathBuf,
+    events: PathBuf,
+    worker_heartbeat: Duration,
+    threads: Option<usize>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let code = if args.iter().any(|a| a == "--worker") {
+        worker_main(&args)
+    } else {
+        coordinator_main(&args)
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "campaign_run — supervised multi-process CLR campaign
+
+USAGE:
+  campaign_run [FLAGS]                  run a supervised campaign
+  campaign_run --bench OUT.json [FLAGS] fault-free overhead benchmark
+  campaign_run --worker [FLAGS]         (internal) run one shard
+
+CONFIG FLAGS (forwarded to workers):
+  --replications R   total replications        (default 8)
+  --frames F         frames per replication    (default 20000)
+  --warmup W         warm-up frames            (default F/20)
+  --sources N        multiplexed sources       (default 4)
+  --capacity C       per-source cells/frame    (default 538)
+  --buffers A,B,..   buffer grid (cells)       (default 0,50,200)
+  --seed S           root RNG seed             (default 7)
+  --mean M --sd S --phi P   Gaussian AR(1) source (default 500, 70, 0.8)
+
+COORDINATOR FLAGS:
+  --shards N                worker processes          (default 4)
+  --dir PATH                campaign working dir      (default target/campaign)
+  --heartbeat-timeout-ms T  stall deadline            (default 30000)
+  --poll-ms T               supervisor poll           (default 250)
+  --worker-heartbeat-ms T   worker beat interval      (default 500)
+  --max-attempts K          attempts per shard        (default 3)
+  --backoff-base-ms T       first retry backoff       (default 200)
+  --threads N               threads per worker        (default auto)
+
+Fault injection: set VBR_FAULT=crash@r[:k]|hang@r[:k]|corrupt-checkpoint@r[:k]
+(comma-separated; k = attempt number, `*` = every attempt). Workers inherit
+the environment, so exporting VBR_FAULT before a campaign injects chaos."
+    );
+}
+
+/// Pulls `--flag value` from argv, parsed; exits with a message on garbage.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let idx = args.iter().position(|a| a == name)?;
+    let raw = args.get(idx + 1).unwrap_or_else(|| {
+        eprintln!("error: {name} needs a value");
+        std::process::exit(2);
+    });
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("error: invalid value {raw:?} for {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_shared(args: &[String]) -> SharedConfig {
+    let mut c = SharedConfig::default();
+    if let Some(v) = flag(args, "--replications") {
+        c.replications = v;
+    }
+    if let Some(v) = flag(args, "--frames") {
+        c.frames = v;
+    }
+    c.warmup = flag(args, "--warmup").or(c.warmup);
+    if let Some(v) = flag(args, "--sources") {
+        c.sources = v;
+    }
+    if let Some(v) = flag(args, "--capacity") {
+        c.capacity = v;
+    }
+    if let Some(raw) = flag::<String>(args, "--buffers") {
+        c.buffers = raw
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid buffer {s:?} in --buffers");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    if let Some(v) = flag(args, "--seed") {
+        c.seed = v;
+    }
+    if let Some(v) = flag(args, "--mean") {
+        c.mean = v;
+    }
+    if let Some(v) = flag(args, "--sd") {
+        c.sd = v;
+    }
+    if let Some(v) = flag(args, "--phi") {
+        c.phi = v;
+    }
+    c
+}
+
+fn worker_main(args: &[String]) -> i32 {
+    let raw_range: String = flag(args, "--range").unwrap_or_else(|| {
+        eprintln!("error: --worker needs --range LO:HI");
+        std::process::exit(2);
+    });
+    let Some((lo, hi)) = raw_range
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+    else {
+        eprintln!("error: invalid --range {raw_range:?} (want LO:HI)");
+        return 2;
+    };
+    let cfg = WorkerConfig {
+        shared: parse_shared(args),
+        range: lo..hi,
+        checkpoint: flag(args, "--checkpoint").unwrap_or_else(|| {
+            eprintln!("error: --worker needs --checkpoint PATH");
+            std::process::exit(2);
+        }),
+        events: flag(args, "--events").unwrap_or_else(|| {
+            eprintln!("error: --worker needs --events PATH");
+            std::process::exit(2);
+        }),
+        worker_heartbeat: Duration::from_millis(
+            flag(args, "--worker-heartbeat-ms").unwrap_or(500),
+        ),
+        threads: flag(args, "--threads"),
+    };
+
+    let recorder = match JsonlRecorder::append(&cfg.events) {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("error: cannot open event stream {}: {e}", cfg.events.display());
+            return 1;
+        }
+    };
+    let mut options = campaign::worker_options(
+        cfg.checkpoint.clone(),
+        cfg.range.clone(),
+        cfg.worker_heartbeat,
+        Some(recorder),
+    );
+    options.threads = cfg.threads;
+    match run(&cfg.shared.prototype(), &cfg.shared.sim_config(), &options) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("worker error: {e}");
+            1
+        }
+    }
+}
+
+fn parse_coordinator(args: &[String]) -> CoordinatorConfig {
+    CoordinatorConfig {
+        shared: parse_shared(args),
+        shards: flag(args, "--shards").unwrap_or(4),
+        dir: flag(args, "--dir").unwrap_or_else(|| PathBuf::from("target/campaign")),
+        heartbeat_timeout: Duration::from_millis(
+            flag(args, "--heartbeat-timeout-ms").unwrap_or(30_000),
+        ),
+        poll: Duration::from_millis(flag(args, "--poll-ms").unwrap_or(250)),
+        worker_heartbeat: Duration::from_millis(
+            flag(args, "--worker-heartbeat-ms").unwrap_or(500),
+        ),
+        max_attempts: flag(args, "--max-attempts").unwrap_or(3),
+        backoff_base: Duration::from_millis(flag(args, "--backoff-base-ms").unwrap_or(200)),
+        threads: flag(args, "--threads"),
+        bench: flag(args, "--bench"),
+    }
+}
+
+fn run_supervised(cfg: &CoordinatorConfig) -> Result<CampaignOutcome, vbr_sim::SimError> {
+    let sim_config = cfg.shared.sim_config();
+    let exe = std::env::current_exe().map_err(|e| vbr_sim::SimError::io("locating own executable", e))?;
+    let campaign_events = cfg.dir.join("campaign.events.jsonl");
+    std::fs::create_dir_all(&cfg.dir)
+        .map_err(|e| vbr_sim::SimError::io(format!("creating {}", cfg.dir.display()), e))?;
+    let recorder = JsonlRecorder::create(&campaign_events)
+        .map_err(|e| vbr_sim::SimError::io(format!("creating {}", campaign_events.display()), e))?;
+    let options = CampaignOptions {
+        shards: cfg.shards,
+        dir: cfg.dir.clone(),
+        retry: RetryPolicy {
+            max_attempts: cfg.max_attempts,
+            base: cfg.backoff_base,
+            ..RetryPolicy::default()
+        },
+        heartbeat_timeout: cfg.heartbeat_timeout,
+        poll_interval: cfg.poll,
+        recorder: Some(Arc::new(recorder)),
+    };
+    let forward = cfg.shared.forward_args();
+    let worker_heartbeat = cfg.worker_heartbeat;
+    let threads = cfg.threads;
+    campaign::run_campaign(&sim_config, &options, move |plan, _attempt| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--worker")
+            .args(&forward)
+            .arg("--range")
+            .arg(format!("{}:{}", plan.range.start, plan.range.end))
+            .arg("--checkpoint")
+            .arg(&plan.checkpoint)
+            .arg("--events")
+            .arg(&plan.events)
+            .arg("--worker-heartbeat-ms")
+            .arg(worker_heartbeat.as_millis().to_string());
+        if let Some(t) = threads {
+            cmd.arg("--threads").arg(t.to_string());
+        }
+        cmd
+    })
+}
+
+/// One line of machine-readable summary on stdout — what the CI smoke job
+/// and the chaos tests parse.
+fn print_summary_json(outcome: &CampaignOutcome) {
+    let o = &outcome.outcome;
+    let r = &outcome.report;
+    let mut clrs = String::new();
+    let mut bits = String::new();
+    for (i, est) in o.per_buffer.iter().enumerate() {
+        if i > 0 {
+            clrs.push(',');
+            bits.push(',');
+        }
+        clrs.push_str(&format!("{:e}", est.pooled.clr()));
+        bits.push_str(&format!("\"{:016x}\"", est.pooled.clr().to_bits()));
+    }
+    println!(
+        "{{\"requested\":{},\"completed\":{},\"partial\":{},\"shards\":{},\"quarantined\":{},\"restarts\":{},\"stalls\":{},\"fallbacks\":{},\"clr\":[{}],\"clr_bits\":[{}],\"wall_s\":{:.3}}}",
+        o.provenance.requested,
+        o.provenance.completed,
+        o.provenance.is_partial(),
+        r.shards.len(),
+        r.quarantined(),
+        r.restarts,
+        r.stalls,
+        r.fallbacks,
+        clrs,
+        bits,
+        r.wall.as_secs_f64(),
+    );
+}
+
+fn coordinator_main(args: &[String]) -> i32 {
+    let cfg = parse_coordinator(args);
+    if let Some(bench_out) = &cfg.bench {
+        return bench_main(&cfg, bench_out);
+    }
+    match run_supervised(&cfg) {
+        Ok(outcome) => {
+            let r = &outcome.report;
+            eprintln!(
+                "campaign: {}/{} replications across {} shards ({} quarantined), {} restarts, {} stalls, {:.2}s",
+                outcome.outcome.provenance.completed,
+                outcome.outcome.provenance.requested,
+                r.shards.len(),
+                r.quarantined(),
+                r.restarts,
+                r.stalls,
+                r.wall.as_secs_f64()
+            );
+            for est in &outcome.outcome.per_buffer {
+                eprintln!(
+                    "  B = {:>8.1} cells ({:>6.2} ms): pooled CLR {:.3e}",
+                    est.buffer_total,
+                    est.buffer_ms,
+                    est.pooled.clr()
+                );
+            }
+            print_summary_json(&outcome);
+            0
+        }
+        Err(e) => {
+            eprintln!("campaign error: {e}");
+            1
+        }
+    }
+}
+
+/// Fault-free supervisor-overhead benchmark (BENCH_5): direct in-process run
+/// vs a supervised multi-process campaign on the same config, plus pooled-CLR
+/// bit-identity between the two.
+fn bench_main(cfg: &CoordinatorConfig, out: &std::path::Path) -> i32 {
+    let sim_config = cfg.shared.sim_config();
+    let proto = cfg.shared.prototype();
+    if let Err(e) = std::fs::create_dir_all(&cfg.dir) {
+        eprintln!("bench: cannot create {}: {e}", cfg.dir.display());
+        return 1;
+    }
+
+    // The direct baseline gets the same per-replication checkpoint
+    // durability the workers have, so the delta is the supervisor itself
+    // (spawn + heartbeats + poll loop + merge), not the checkpoint writes.
+    let time_direct = |label: &str| -> Result<(f64, SimOutcome), vbr_sim::SimError> {
+        let ckpt = cfg.dir.join(format!("{label}.ckpt"));
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(ckpt.with_extension("ckpt.prev"));
+        let t = Instant::now();
+        let outcome = run(
+            &proto,
+            &sim_config,
+            &RunOptions {
+                threads: cfg.threads,
+                checkpoint: Some(vbr_sim::CheckpointPolicy::new(&ckpt)),
+                ..RunOptions::default()
+            },
+        )?;
+        Ok((t.elapsed().as_secs_f64(), outcome))
+    };
+    let time_campaign = |label: &str| -> Result<(f64, CampaignOutcome), vbr_sim::SimError> {
+        let dir = cfg.dir.join(label);
+        let _ = std::fs::remove_dir_all(&dir);
+        let run_cfg = CoordinatorConfig {
+            shared: cfg.shared.clone(),
+            shards: cfg.shards,
+            dir,
+            heartbeat_timeout: cfg.heartbeat_timeout,
+            poll: cfg.poll,
+            worker_heartbeat: cfg.worker_heartbeat,
+            max_attempts: cfg.max_attempts,
+            backoff_base: cfg.backoff_base,
+            threads: cfg.threads,
+            bench: None,
+        };
+        let t = Instant::now();
+        let outcome = run_supervised(&run_cfg)?;
+        Ok((t.elapsed().as_secs_f64(), outcome))
+    };
+
+    let runs = 3usize;
+    let mut direct_times = Vec::new();
+    let mut campaign_times = Vec::new();
+    let mut direct_outcome = None;
+    let mut campaign_outcome = None;
+    for i in 0..runs {
+        match time_direct(&format!("direct-{i}")) {
+            Ok((secs, o)) => {
+                direct_times.push(secs);
+                direct_outcome = Some(o);
+            }
+            Err(e) => {
+                eprintln!("bench: direct run failed: {e}");
+                return 1;
+            }
+        }
+        match time_campaign(&format!("bench-{i}")) {
+            Ok((secs, o)) => {
+                campaign_times.push(secs);
+                campaign_outcome = Some(o);
+            }
+            Err(e) => {
+                eprintln!("bench: campaign run failed: {e}");
+                return 1;
+            }
+        }
+    }
+    let (Some(direct), Some(campaign)) = (direct_outcome, campaign_outcome) else {
+        eprintln!("bench: no outcomes");
+        return 1;
+    };
+    let bits = |o: &SimOutcome| -> Vec<u64> {
+        o.per_buffer.iter().map(|e| e.pooled.clr().to_bits()).collect()
+    };
+    let identical = bits(&direct) == bits(&campaign.outcome)
+        && !campaign.outcome.provenance.is_partial()
+        && campaign.report.restarts == 0;
+    let best = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let fmt_runs = |v: &[f64]| {
+        v.iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let direct_best = best(&direct_times);
+    let campaign_best = best(&campaign_times);
+    let overhead_pct = (campaign_best / direct_best - 1.0) * 100.0;
+    let body = format!(
+        "{{\n  \"bench\": \"BENCH_5\",\n  \"description\": \"supervisor overhead on the fault-free path: Gaussian AR(1) N={}, {} frames/rep, {} reps, {} buffers, {} shard processes vs one direct in-process run\",\n  \"direct_runs_seconds\": [{}],\n  \"direct_best_seconds\": {:.3},\n  \"campaign_runs_seconds\": [{}],\n  \"campaign_best_seconds\": {:.3},\n  \"supervisor_overhead_pct\": {:.3},\n  \"clr_buffer0\": {:e},\n  \"results_bit_identical\": {}\n}}\n",
+        cfg.shared.sources,
+        cfg.shared.frames,
+        cfg.shared.replications,
+        cfg.shared.buffers.len(),
+        cfg.shards,
+        fmt_runs(&direct_times),
+        direct_best,
+        fmt_runs(&campaign_times),
+        campaign_best,
+        overhead_pct,
+        direct.per_buffer[0].pooled.clr(),
+        identical,
+    );
+    if let Err(e) = std::fs::write(out, &body) {
+        eprintln!("bench: cannot write {}: {e}", out.display());
+        return 1;
+    }
+    print!("{body}");
+    if identical {
+        0
+    } else {
+        eprintln!("bench: campaign result NOT bit-identical to direct run");
+        1
+    }
+}
