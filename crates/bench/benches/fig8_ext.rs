@@ -1,0 +1,53 @@
+//! Fig. 8 extension: CLR vs buffer for the two model families the paper's
+//! authors never tried — the Clegg–Dodson Markov-chain LRD generator and
+//! the multifractal wavelet model — each at H ∈ {0.7, 0.8, 0.9} with the
+//! paper's exact-LRD model `L` as the common reference curve.
+//!
+//! Emits `paper_output/fig8_clegg.csv` and `paper_output/fig8_mwm.csv`.
+
+use vbr_core::experiments::{fig8_clegg, fig8_mwm, linear_buffer_grid, SimScale};
+
+fn main() {
+    let scale = SimScale::from_env();
+    vbr_bench::preamble(
+        "Figure 8 extension: simulated CLRs of the Clegg chain and the MWM (N = 30, c = 538)",
+        &format!(
+            "scale: {} replications x {} frames (VBR_FULL=1 for paper scale)\n\
+             Expected: both families share L's zero-buffer intercept (same marginal\n\
+             moments); the curves separate with buffer according to each family's\n\
+             short-term correlation structure, not its Hurst parameter.",
+            scale.replications, scale.frames
+        ),
+    );
+    let grid = if std::env::var("VBR_FULL").map(|v| v == "1").unwrap_or(false) {
+        linear_buffer_grid(0.0001, 16.0, 9)
+    } else {
+        linear_buffer_grid(0.0001, 2.0, 7)
+    };
+    let clegg = match fig8_clegg(&grid, scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fig8_clegg simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    vbr_bench::emit(
+        "fig8_clegg",
+        "simulated CLR vs buffer (msec), Clegg-Dodson Markov chain",
+        "buffer_ms",
+        &clegg,
+    );
+    let mwm = match fig8_mwm(&grid, scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fig8_mwm simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    vbr_bench::emit(
+        "fig8_mwm",
+        "simulated CLR vs buffer (msec), multifractal wavelet model",
+        "buffer_ms",
+        &mwm,
+    );
+}

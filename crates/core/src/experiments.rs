@@ -431,6 +431,42 @@ pub fn fig8(buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimE
         .collect()
 }
 
+/// Fig 8-style CLR-vs-buffer run for the Clegg–Dodson Markov-chain LRD
+/// family: the chain at `H ∈ {0.7, 0.8, 0.9}` alongside the paper's exact
+/// LRD model `L` as the reference curve. If LRD *per se* drove the loss
+/// curve, the Markov construction would track `L`; if (as the paper argues)
+/// short-term correlations dominate at practical buffers, the families'
+/// small-lag structure decides and the curves separate.
+pub fn fig8_clegg(buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimError> {
+    let mut out = Vec::new();
+    for h in [0.7, 0.8, 0.9] {
+        let m = paper::build_clegg(h);
+        out.push(sim_clr_series(&m, buffer_ms_grid, scale)?);
+    }
+    let mut l_series = sim_clr_series(&paper::build_l(), buffer_ms_grid, scale)?;
+    l_series.label = "L".into();
+    out.push(l_series);
+    Ok(out)
+}
+
+/// Fig 8-style CLR-vs-buffer run for the multifractal wavelet family at
+/// `H ∈ {0.7, 0.8, 0.9}`, with `L` as the exact-LRD reference. The MWM has
+/// the same mean/variance/Hurst as the Gaussian-marginal models but a
+/// non-negative, right-skewed cascade marginal — so any separation from `L`
+/// here probes the *marginal's* role in the loss curve, complementing the
+/// paper's correlation-structure argument.
+pub fn fig8_mwm(buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimError> {
+    let mut out = Vec::new();
+    for h in [0.7, 0.8, 0.9] {
+        let m = paper::build_mwm(h);
+        out.push(sim_clr_series(&m, buffer_ms_grid, scale)?);
+    }
+    let mut l_series = sim_clr_series(&paper::build_l(), buffer_ms_grid, scale)?;
+    l_series.label = "L".into();
+    out.push(l_series);
+    Ok(out)
+}
+
 /// Fig 9: simulated CLR of `Z^a` vs DAR(p) fits vs `L`.
 pub fn fig9(a: f64, buffer_ms_grid: &[f64], scale: SimScale) -> Result<Vec<Series>, SimError> {
     let z = paper::build_z(a);

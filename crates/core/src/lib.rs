@@ -66,8 +66,8 @@ pub mod prelude {
         CtsResult, SourceStats, VarianceFunction,
     };
     pub use vbr_models::{
-        DarParams, DarProcess, Fbndp, FbndpParams, FrameProcess, GaussianAr1, IidProcess,
-        Marginal, ModelError, Superposition,
+        CleggParams, CleggProcess, DarParams, DarProcess, Fbndp, FbndpParams, FrameProcess,
+        GaussianAr1, IidProcess, Marginal, ModelError, MwmParams, MwmProcess, Superposition,
     };
     pub use vbr_obs::{Event, MemoryRecorder, Recorder, RunSummary, Telemetry};
     pub use vbr_sim::{

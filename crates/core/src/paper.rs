@@ -21,7 +21,8 @@
 
 use crate::matching::fit_dar;
 use vbr_models::{
-    DarParams, DarProcess, Fbndp, FbndpParams, FrameProcess, Marginal, Superposition,
+    CleggParams, CleggProcess, DarParams, DarProcess, Fbndp, FbndpParams, FrameProcess, Marginal,
+    MwmParams, MwmProcess, Superposition,
 };
 
 /// Mean frame size (cells/frame), paper §5.1.
@@ -219,6 +220,37 @@ pub fn build_l_with_alpha(alpha: f64) -> Fbndp {
         M_L,
         spec.ts,
     ))
+}
+
+/// Builds the Clegg–Dodson Markov-chain LRD source at the paper marginal
+/// (mean 500, variance 5000), with the same component count `M_L = 30` as
+/// model `L` so the two exact-LRD constructions are directly comparable.
+///
+/// # Panics
+/// Panics if `h` lies outside `(0.5, 1)`.
+pub fn build_clegg(h: f64) -> CleggProcess {
+    CleggProcess::new(CleggParams {
+        h,
+        chains: M_L,
+        mean: MEAN,
+        sd: VARIANCE.sqrt(),
+    })
+}
+
+/// Builds the multifractal wavelet model at the paper marginal. The
+/// 14-level cascade synthesizes 16384-frame blocks, i.e. the correlation
+/// horizon reaches ~11 minutes of video — past every buffer scale the
+/// paper's figures explore.
+///
+/// # Panics
+/// Panics if `h` lies outside `(0.5, 1)`.
+pub fn build_mwm(h: f64) -> MwmProcess {
+    MwmProcess::new(MwmParams {
+        mean: MEAN,
+        sd: VARIANCE.sqrt(),
+        h,
+        levels: 14,
+    })
 }
 
 /// Builds `S = DAR(p)` matched to the first p correlations of `Z^a`

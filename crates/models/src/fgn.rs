@@ -603,6 +603,43 @@ mod tests {
         }
     }
 
+    /// Statistical acceptance of the half-size path itself (not via the
+    /// equivalence test above): mean, variance, and lag-1 autocorrelation
+    /// of `generate_into` output against the exact FGN autocovariance
+    /// `r(1) = (2^{2H} − 2)/2`. A scaling or packing bug that happened to
+    /// slip past the transform-equivalence test would surface here.
+    #[test]
+    fn half_size_path_has_exact_moments_and_lag1() {
+        let h = 0.8;
+        let n = 2048usize;
+        let gen = FgnGenerator::new(h, 1.0, n);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(0xDA1E5);
+        let mut scratch = CirculantScratch::new();
+        let mut out = vec![0.0; n];
+        let mut m = Moments::new();
+        let mut lag1 = 0.0;
+        let mut pairs = 0usize;
+        let blocks = 120;
+        for _ in 0..blocks {
+            gen.generate_into(&mut rng, &mut scratch, &mut out);
+            m.extend(&out);
+            lag1 += out.windows(2).map(|w| w[0] * w[1]).sum::<f64>();
+            pairs += n - 1;
+        }
+        let want_r1 = ((2.0_f64).powf(2.0 * h) - 2.0) / 2.0;
+        assert!(m.mean().abs() < 0.03, "half-size mean {}", m.mean());
+        assert!(
+            (m.variance() - 1.0).abs() < 0.03,
+            "half-size variance {}",
+            m.variance()
+        );
+        let r1 = lag1 / pairs as f64;
+        assert!(
+            (r1 - want_r1).abs() < 0.03,
+            "half-size lag-1 {r1} vs exact {want_r1}"
+        );
+    }
+
     /// The half-size packed synthesis must agree with the literal 2n-point
     /// Hermitian transform it replaces — same spectrum, same draws.
     #[test]

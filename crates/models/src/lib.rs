@@ -34,6 +34,14 @@
 //!   the sojourn tail.
 //! * [`mpeg::MpegGopModel`] — a GOP-structured MPEG source (extension; the
 //!   paper's §6.2 names MPEG CTS analysis as ongoing work).
+//! * [`clegg::CleggProcess`] — Clegg–Dodson Markov-chain LRD generator:
+//!   superposed binary chains with discrete-Pareto (Zipf-tail) sojourns,
+//!   H = (3 − γ)/2, exact renewal-parity ACF — a *Markov* construction that
+//!   is nonetheless LRD, probing whether the paper's "myths" depend on how
+//!   the LRD is produced.
+//! * [`mwm::MwmProcess`] — the Riedi et al. multifractal wavelet model: a
+//!   symmetric-beta Haar cascade, non-negative by construction, with the
+//!   octave energy ratio pinned to 2^{2H−1} at every scale.
 //!
 //! All models implement [`traits::FrameProcess`], are seedable through the
 //! deterministic RNG from `vbr-stats`, and are `Send + Clone`-able so the
@@ -43,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod ar;
+pub mod clegg;
 pub mod dar;
 pub mod error;
 pub mod farima;
@@ -52,11 +61,13 @@ pub mod iid;
 pub mod marginal;
 pub mod markov_onoff;
 pub mod mpeg;
+pub mod mwm;
 pub mod onoff;
 pub mod superpose;
 pub mod traits;
 
 pub use ar::GaussianAr1;
+pub use clegg::{CleggParams, CleggProcess};
 pub use dar::{DarParams, DarProcess};
 pub use error::ModelError;
 pub use farima::{farima_acf, FarimaProcess};
@@ -66,6 +77,7 @@ pub use iid::IidProcess;
 pub use marginal::Marginal;
 pub use markov_onoff::{MarkovOnOff, MarkovOnOffParams};
 pub use mpeg::{GopPattern, MpegGopModel};
+pub use mwm::{MwmParams, MwmProcess};
 pub use onoff::{FractalOnOff, HeavyTailedSojourn};
 pub use superpose::Superposition;
 pub use traits::FrameProcess;

@@ -548,6 +548,50 @@ mod tests {
     }
 
     #[test]
+    fn fill_standard_moments_and_lag1() {
+        // Statistical acceptance for the bulk path itself: the pair-fill
+        // loop writes both polar deviates of each accepted pair directly,
+        // so a sign or ordering bug there would show up as a non-zero
+        // lag-1 correlation between consecutive outputs even while the
+        // marginal moments stay correct.
+        let mut d = Normal::new(0.0, 1.0);
+        let mut r = rng(0x51A7);
+        let n = 400_001; // odd on purpose: exercises the trailing element
+        let mut out = vec![0.0; n];
+        d.fill_standard(&mut out, &mut r);
+        let (mean, var) = moments(&out);
+        assert!(mean.abs() < 0.006, "fill_standard mean {mean}");
+        assert!((var - 1.0).abs() < 0.01, "fill_standard var {var}");
+        let lag1: f64 = out.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (n - 1) as f64;
+        assert!(lag1.abs() < 0.006, "fill_standard lag-1 correlation {lag1}");
+        // Skewness and excess kurtosis of the standard normal are 0.
+        let skew: f64 = out.iter().map(|&z| z.powi(3)).sum::<f64>() / n as f64;
+        let kurt: f64 = out.iter().map(|&z| z.powi(4)).sum::<f64>() / n as f64 - 3.0;
+        assert!(skew.abs() < 0.02, "fill_standard skewness {skew}");
+        assert!(kurt.abs() < 0.05, "fill_standard excess kurtosis {kurt}");
+    }
+
+    #[test]
+    fn fill_standard_chunked_moments_with_spare_carry() {
+        // Odd-sized chunks force the spare cache across every call
+        // boundary; the concatenated stream must still be iid N(0,1).
+        let mut d = Normal::new(0.0, 1.0);
+        let mut r = rng(0x51A8);
+        let mut out = Vec::with_capacity(300_000);
+        let mut buf = vec![0.0; 37];
+        while out.len() < 300_000 {
+            d.fill_standard(&mut buf, &mut r);
+            out.extend_from_slice(&buf);
+        }
+        let (mean, var) = moments(&out);
+        assert!(mean.abs() < 0.008, "chunked mean {mean}");
+        assert!((var - 1.0).abs() < 0.012, "chunked var {var}");
+        let lag1: f64 =
+            out.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (out.len() - 1) as f64;
+        assert!(lag1.abs() < 0.008, "chunked lag-1 correlation {lag1}");
+    }
+
+    #[test]
     #[should_panic]
     fn normal_rejects_negative_sd() {
         Normal::new(0.0, -1.0);

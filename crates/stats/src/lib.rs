@@ -40,6 +40,9 @@
 //!   model families really share the paper's Gaussian marginal.
 //! * [`batch`] — batch-means output analysis for correlated simulation
 //!   series, contrasted with independent replications in the ablations.
+//! * [`wavelet`] — orthonormal Haar DWT (analysis/synthesis, single-level
+//!   and full-depth) plus the logscale-diagram Hurst estimator; the
+//!   substrate of the multifractal wavelet traffic model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +60,7 @@ pub mod p2;
 pub mod regression;
 pub mod rng;
 pub mod special;
+pub mod wavelet;
 pub mod whittle;
 
 pub use acf::{sample_acf, sample_acf_fft};
@@ -71,5 +75,11 @@ pub use p2::P2Quantile;
 pub use linalg::{levinson_durbin, solve_toeplitz};
 pub use regression::LinearFit;
 pub use rng::{SplitMix64, Xoshiro256PlusPlus};
-pub use special::{erf, erfc, ln_gamma, normal_cdf, normal_pdf, normal_quantile, normal_sf};
+pub use special::{
+    erf, erfc, hurwitz_zeta, ln_gamma, normal_cdf, normal_pdf, normal_quantile, normal_sf,
+    riemann_zeta,
+};
+pub use wavelet::{
+    haar_decompose, haar_detail_energies, haar_reconstruct, wavelet_hurst, HaarDecomposition,
+};
 pub use whittle::{local_whittle_hurst, whittle_hurst};

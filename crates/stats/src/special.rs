@@ -190,6 +190,49 @@ pub fn ln_factorial(k: u64) -> f64 {
     }
 }
 
+/// Hurwitz zeta function `ζ(s, a) = Σ_{k≥0} (a + k)^{-s}` for `s > 1`, `a > 0`.
+///
+/// Euler–Maclaurin summation: direct terms until `a + k ≥ 32`, then the
+/// integral tail with three Bernoulli corrections. For `s ∈ (1, 4)` — the
+/// range the heavy-tailed sojourn models use — the result is accurate to
+/// ~1e-14 relative.
+pub fn hurwitz_zeta(s: f64, a: f64) -> f64 {
+    assert!(s > 1.0, "hurwitz_zeta requires s > 1, got {s}");
+    assert!(a > 0.0, "hurwitz_zeta requires a > 0, got {a}");
+    // Direct sum of the first terms.
+    let n = if a >= 32.0 {
+        0
+    } else {
+        (32.0 - a).ceil() as usize
+    };
+    let mut sum = 0.0;
+    for k in 0..n {
+        sum += (a + k as f64).powf(-s);
+    }
+    // Euler–Maclaurin tail starting at x = a + n ≥ 32.
+    let x = a + n as f64;
+    sum += x.powf(1.0 - s) / (s - 1.0);
+    sum += 0.5 * x.powf(-s);
+    // Bernoulli corrections: B2/2! s x^{-s-1}, B4/4! s(s+1)(s+2) x^{-s-3}, ...
+    let x2 = x * x;
+    let mut term = s * x.powf(-s - 1.0);
+    sum += term / 12.0; // B2 = 1/6, 2! = 2
+    term *= (s + 1.0) * (s + 2.0) / x2;
+    sum -= term / 720.0; // B4 = -1/30, 4! = 24
+    term *= (s + 3.0) * (s + 4.0) / x2;
+    sum += term / 30_240.0; // B6 = 1/42, 6! = 720
+    sum
+}
+
+/// Riemann zeta function `ζ(s)` for `s > 1`.
+///
+/// The mean sojourn time of the discrete-Pareto (Zipf-tail) distribution
+/// `P(K ≥ k) = k^{-γ}` is `ζ(γ)`, which the Clegg–Dodson Markov-chain model
+/// needs for its equilibrium (residual-life) start.
+pub fn riemann_zeta(s: f64) -> f64 {
+    hurwitz_zeta(s, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +328,39 @@ mod tests {
                 "ln k! vs lnGamma",
             );
         }
+    }
+
+    #[test]
+    fn riemann_zeta_reference_values() {
+        let pi = std::f64::consts::PI;
+        assert_close(riemann_zeta(2.0), pi * pi / 6.0, 1e-13, "zeta(2)");
+        assert_close(riemann_zeta(4.0), pi.powi(4) / 90.0, 1e-13, "zeta(4)");
+        // Reference values for the exponents the sojourn models use,
+        // cross-checked against a 10⁷-term direct sum with integral tail.
+        assert_close(riemann_zeta(1.2), 5.591_582_441_177_75, 1e-12, "zeta(1.2)");
+        assert_close(riemann_zeta(1.5), 2.612_375_348_685_49, 1e-12, "zeta(1.5)");
+        assert_close(riemann_zeta(1.8), 1.882_229_618_102_75, 1e-12, "zeta(1.8)");
+    }
+
+    #[test]
+    fn hurwitz_zeta_recurrence_and_tail() {
+        // ζ(s, a) = a^{-s} + ζ(s, a+1) across the direct-sum / tail boundary.
+        for &s in &[1.1, 1.5, 1.9, 3.0] {
+            for &a in &[0.5, 1.0, 7.0, 31.5, 100.0] {
+                let lhs = hurwitz_zeta(s, a);
+                let rhs = a.powf(-s) + hurwitz_zeta(s, a + 1.0);
+                assert_close(lhs, rhs, 1e-13, "hurwitz recurrence");
+            }
+        }
+        // Brute-force cross-check at a point with a slowly convergent tail.
+        let s = 1.7;
+        let a = 3.0;
+        let mut brute = 0.0;
+        for k in 0..2_000_000u64 {
+            brute += (a + k as f64).powf(-s);
+        }
+        // Integral remainder of the truncated brute-force sum.
+        brute += (a + 2e6).powf(1.0 - s) / (s - 1.0);
+        assert_close(hurwitz_zeta(s, a), brute, 1e-7, "hurwitz vs brute force");
     }
 }

@@ -1,0 +1,271 @@
+//! Orthonormal Haar discrete wavelet transform.
+//!
+//! The multifractal wavelet model (Riedi, Crouse, Ribeiro & Baraniuk) builds
+//! a traffic trace as a multiplicative cascade in the Haar domain, and the
+//! wavelet *logscale diagram* — log₂ of the mean squared detail coefficient
+//! per octave — is a standard Hurst estimator in its own right: for an LRD
+//! process with Hurst `H` the detail energy grows by `2^{2H−1}` per octave of
+//! aggregation. This module provides the transform pair (single-level and
+//! full-depth), the per-level energies, and the logscale-diagram estimator.
+//!
+//! Conventions: level `j` holds `2^j` coefficients, so level 0 is the
+//! *coarsest* scale (one coefficient spanning the whole block) and each
+//! detail coefficient at level `j` spans `2^{J−j}` samples of a length-`2^J`
+//! signal. All transforms use the orthonormal normalisation
+//! `(a ± d)/√2`, which preserves energy exactly.
+
+use crate::hurst::HurstEstimate;
+use crate::regression::LinearFit;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// A full-depth Haar decomposition of a length-`2^J` signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaarDecomposition {
+    /// The single coarsest scaling coefficient `c_{0,0} = Σ x_k / 2^{J/2}`.
+    pub approx: f64,
+    /// Detail coefficients per level: `details[j]` has `2^j` entries and
+    /// `details` has `J` levels, index 0 = coarsest.
+    pub details: Vec<Vec<f64>>,
+}
+
+impl HaarDecomposition {
+    /// Number of levels `J` (the reconstructed signal has `2^J` samples).
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+}
+
+fn assert_power_of_two(n: usize, what: &str) {
+    assert!(
+        n.is_power_of_two(),
+        "{what} length must be a power of two, got {n}"
+    );
+}
+
+/// One analysis step: splits a fine signal of even length `2m` into `m`
+/// scaling and `m` detail coefficients.
+///
+/// `approx[k] = (fine[2k] + fine[2k+1])/√2`,
+/// `detail[k] = (fine[2k] − fine[2k+1])/√2`.
+///
+/// # Panics
+/// Panics if `fine` is empty or of odd length.
+pub fn haar_analyze_level(fine: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert!(
+        !fine.is_empty() && fine.len().is_multiple_of(2),
+        "haar_analyze_level needs a non-empty even-length input, got {}",
+        fine.len()
+    );
+    let m = fine.len() / 2;
+    let mut approx = Vec::with_capacity(m);
+    let mut detail = Vec::with_capacity(m);
+    for k in 0..m {
+        let a = fine[2 * k];
+        let b = fine[2 * k + 1];
+        approx.push((a + b) * FRAC_1_SQRT_2);
+        detail.push((a - b) * FRAC_1_SQRT_2);
+    }
+    (approx, detail)
+}
+
+/// One synthesis step, the exact inverse of [`haar_analyze_level`]:
+/// `fine[2k] = (approx[k] + detail[k])/√2`,
+/// `fine[2k+1] = (approx[k] − detail[k])/√2`.
+///
+/// # Panics
+/// Panics if the slices are empty or of different lengths.
+pub fn haar_synthesize_level(approx: &[f64], detail: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        approx.len(),
+        detail.len(),
+        "approx/detail length mismatch in haar_synthesize_level"
+    );
+    assert!(!approx.is_empty(), "haar_synthesize_level needs input");
+    let mut fine = Vec::with_capacity(2 * approx.len());
+    for (&a, &d) in approx.iter().zip(detail) {
+        fine.push((a + d) * FRAC_1_SQRT_2);
+        fine.push((a - d) * FRAC_1_SQRT_2);
+    }
+    fine
+}
+
+/// Full-depth Haar analysis of a length-`2^J` signal.
+///
+/// # Panics
+/// Panics if the length is not a power of two (length 1 is allowed and
+/// yields zero levels).
+pub fn haar_decompose(series: &[f64]) -> HaarDecomposition {
+    assert_power_of_two(series.len(), "haar_decompose input");
+    let mut details = Vec::new();
+    let mut current = series.to_vec();
+    while current.len() > 1 {
+        let (approx, detail) = haar_analyze_level(&current);
+        details.push(detail);
+        current = approx;
+    }
+    details.reverse(); // index 0 = coarsest
+    HaarDecomposition {
+        approx: current[0],
+        details,
+    }
+}
+
+/// Full-depth Haar synthesis, the exact inverse of [`haar_decompose`].
+pub fn haar_reconstruct(decomp: &HaarDecomposition) -> Vec<f64> {
+    let mut current = vec![decomp.approx];
+    for detail in &decomp.details {
+        assert_eq!(
+            detail.len(),
+            current.len(),
+            "detail level size inconsistent with cascade depth"
+        );
+        current = haar_synthesize_level(&current, detail);
+    }
+    current
+}
+
+/// Mean squared Haar detail coefficient per level, index 0 = coarsest.
+///
+/// This is the raw material of the wavelet logscale diagram: for an LRD
+/// process with Hurst `H`, `E[d_j²] ∝ 2^{(2H−1)(J−j)}`.
+///
+/// # Panics
+/// Panics if the length is not a power of two or is < 2.
+pub fn haar_detail_energies(series: &[f64]) -> Vec<f64> {
+    assert!(series.len() >= 2, "need at least 2 samples for one level");
+    let decomp = haar_decompose(series);
+    decomp
+        .details
+        .iter()
+        .map(|d| d.iter().map(|&x| x * x).sum::<f64>() / d.len() as f64)
+        .collect()
+}
+
+/// Wavelet (logscale-diagram) Hurst estimator.
+///
+/// Regresses `log₂ E[d_j²]` on the octave index `J − j` (samples spanned per
+/// coefficient, in octaves); the slope is `2H − 1`. Only levels with at
+/// least 8 detail coefficients enter the fit, so the energy estimates are
+/// stable; the series is truncated to the largest power-of-two prefix.
+///
+/// # Panics
+/// Panics if fewer than 256 points are supplied (at least 3 usable octaves).
+pub fn wavelet_hurst(series: &[f64]) -> HurstEstimate {
+    let n = series.len();
+    assert!(n >= 256, "wavelet_hurst needs at least 256 points, got {n}");
+    let pow2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
+    let energies = haar_detail_energies(&series[..pow2]);
+    let levels = energies.len(); // = J
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    // Degenerate levels carry no scaling information but their log2 would
+    // dominate the fit: block-cascade models (MWM) conserve mass exactly per
+    // block, so every level coarser than one block has energy ~1e-30.
+    let floor = energies.iter().cloned().fold(0.0_f64, f64::max) * 1e-9;
+    for (j, &e) in energies.iter().enumerate() {
+        // Level j has 2^j coefficients; require ≥ 8 for a stable estimate.
+        if (1usize << j) >= 8 && e > floor {
+            x.push((levels - j) as f64); // octaves spanned
+            y.push(e.log2());
+        }
+    }
+    let fit = LinearFit::fit(&x, &y);
+    // slope = 2H − 1  ⟹  H = (slope + 1)/2, dH/dslope = 1/2.
+    HurstEstimate {
+        h: (fit.slope + 1.0) / 2.0,
+        se: fit.slope_se / 2.0,
+        r_squared: fit.r_squared,
+        points: fit.n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+    use rand::Rng;
+
+    #[test]
+    fn analyze_synthesize_roundtrip_one_level() {
+        let fine = [3.0, 1.0, -2.0, 5.0, 0.5, 0.5, 7.0, -7.0];
+        let (approx, detail) = haar_analyze_level(&fine);
+        let back = haar_synthesize_level(&approx, &detail);
+        for (a, b) in fine.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12, "roundtrip mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn known_small_transform() {
+        // x = [1, 1, 1, 1]: all detail coefficients vanish and the root
+        // carries the whole (orthonormalised) mass: c_{0,0} = 4/2 = 2.
+        let d = haar_decompose(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((d.approx - 2.0).abs() < 1e-12);
+        for level in &d.details {
+            for &c in level {
+                assert!(c.abs() < 1e-12);
+            }
+        }
+        // x = [1, 0]: c = 1/√2, d = 1/√2.
+        let d = haar_decompose(&[1.0, 0.0]);
+        assert!((d.approx - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((d.details[0][0] - FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_depth_roundtrip_and_energy_preservation() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(42);
+        let series: Vec<f64> = (0..256).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let decomp = haar_decompose(&series);
+        assert_eq!(decomp.levels(), 8);
+        for (j, level) in decomp.details.iter().enumerate() {
+            assert_eq!(level.len(), 1 << j);
+        }
+        // Orthonormality: total energy is preserved coefficient-for-sample.
+        let signal_energy: f64 = series.iter().map(|&v| v * v).sum();
+        let coeff_energy: f64 = decomp.approx * decomp.approx
+            + decomp
+                .details
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(|&v| v * v)
+                .sum::<f64>();
+        assert!(
+            (signal_energy - coeff_energy).abs() < 1e-9 * signal_energy,
+            "Parseval violated: {signal_energy} vs {coeff_energy}"
+        );
+        let back = haar_reconstruct(&decomp);
+        for (a, b) in series.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn white_noise_energies_are_flat_and_hurst_is_half() {
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(7);
+        let series: Vec<f64> = (0..(1 << 15))
+            .map(|_| rng.gen::<f64>() - 0.5)
+            .collect();
+        let energies = haar_detail_energies(&series);
+        // For iid noise every octave has the same expected energy (= Var).
+        // Restrict the per-level check to levels with ≥ 512 coefficients so
+        // the χ² fluctuation of the energy estimate stays below ~7%.
+        let var = 1.0 / 12.0;
+        for &e in energies.iter().skip(9) {
+            assert!((e - var).abs() < 0.2 * var, "octave energy {e} vs {var}");
+        }
+        let est = wavelet_hurst(&series);
+        assert!(
+            (est.h - 0.5).abs() < 0.06,
+            "wavelet H on white noise: {}",
+            est.h
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn decompose_rejects_non_power_of_two() {
+        haar_decompose(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -22,7 +22,9 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vbr_models::GaussianAr1;
+use vbr_models::{
+    CleggParams, CleggProcess, FrameProcess, GaussianAr1, MwmParams, MwmProcess,
+};
 use vbr_sim::campaign::{self, CampaignOptions, CampaignOutcome};
 use vbr_sim::obs::JsonlRecorder;
 use vbr_sim::{run, RetryPolicy, RunOptions, SimConfig, SimOutcome};
@@ -42,6 +44,8 @@ struct SharedConfig {
     mean: f64,
     sd: f64,
     phi: f64,
+    model: String,
+    hurst: f64,
 }
 
 impl Default for SharedConfig {
@@ -57,6 +61,8 @@ impl Default for SharedConfig {
             mean: 500.0,
             sd: 70.0,
             phi: 0.8,
+            model: "ar1".into(),
+            hurst: 0.9,
         }
     }
 }
@@ -76,8 +82,29 @@ impl SharedConfig {
         }
     }
 
-    fn prototype(&self) -> GaussianAr1 {
-        GaussianAr1::new(self.mean, self.sd, self.phi)
+    /// Builds the source prototype selected by `--model`. All three share
+    /// the `--mean/--sd` marginal moments, so switching models changes only
+    /// the correlation structure of the campaign's traffic.
+    fn prototype(&self) -> Box<dyn FrameProcess> {
+        match self.model.as_str() {
+            "ar1" => Box::new(GaussianAr1::new(self.mean, self.sd, self.phi)),
+            "clegg" => Box::new(CleggProcess::new(CleggParams {
+                h: self.hurst,
+                chains: 15,
+                mean: self.mean,
+                sd: self.sd,
+            })),
+            "mwm" => Box::new(MwmProcess::new(MwmParams {
+                mean: self.mean,
+                sd: self.sd,
+                h: self.hurst,
+                levels: 12,
+            })),
+            other => {
+                eprintln!("error: unknown --model {other:?} (expected ar1|clegg|mwm)");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The worker argv for these settings (coordinator → worker contract).
@@ -107,6 +134,10 @@ impl SharedConfig {
             self.sd.to_string(),
             "--phi".into(),
             self.phi.to_string(),
+            "--model".into(),
+            self.model.clone(),
+            "--hurst".into(),
+            self.hurst.to_string(),
         ];
         if let Some(w) = self.warmup {
             args.push("--warmup".into());
@@ -169,7 +200,13 @@ CONFIG FLAGS (forwarded to workers):
   --capacity C       per-source cells/frame    (default 538)
   --buffers A,B,..   buffer grid (cells)       (default 0,50,200)
   --seed S           root RNG seed             (default 7)
-  --mean M --sd S --phi P   Gaussian AR(1) source (default 500, 70, 0.8)
+  --mean M --sd S           source marginal moments   (default 500, 70)
+  --model NAME       source family: ar1 (Gaussian AR(1)), clegg
+                     (Clegg-Dodson Markov-chain LRD, 15 chains), or mwm
+                     (multifractal wavelet cascade, 12 levels)
+                                               (default ar1)
+  --phi P            AR(1) lag-1 correlation   (default 0.8, ar1 only)
+  --hurst H          target Hurst in (0.5,1)   (default 0.9, clegg/mwm only)
 
 COORDINATOR FLAGS:
   --shards N                worker processes          (default 4)
@@ -241,6 +278,16 @@ fn parse_shared(args: &[String]) -> SharedConfig {
     if let Some(v) = flag(args, "--phi") {
         c.phi = v;
     }
+    if let Some(v) = flag::<String>(args, "--model") {
+        c.model = v;
+    }
+    if let Some(v) = flag(args, "--hurst") {
+        c.hurst = v;
+    }
+    // Fail fast on an unknown model or bad Hurst before any worker spawns
+    // (prototype() exits with a message on unknown names, the model
+    // constructors panic on out-of-range parameters).
+    let _ = c.prototype();
     c
 }
 
@@ -287,7 +334,7 @@ fn worker_main(args: &[String]) -> i32 {
         Some(recorder),
     );
     options.threads = cfg.threads;
-    match run(&cfg.shared.prototype(), &cfg.shared.sim_config(), &options) {
+    match run(&*cfg.shared.prototype(), &cfg.shared.sim_config(), &options) {
         Ok(_) => 0,
         Err(e) => {
             eprintln!("worker error: {e}");
@@ -444,7 +491,7 @@ fn bench_main(cfg: &CoordinatorConfig, out: &std::path::Path) -> i32 {
         let _ = std::fs::remove_file(ckpt.with_extension("ckpt.prev"));
         let t = Instant::now();
         let outcome = run(
-            &proto,
+            &*proto,
             &sim_config,
             &RunOptions {
                 threads: cfg.threads,

@@ -80,7 +80,11 @@ fn checkpoint_resume_is_bit_identical() {
     let dir = std::env::temp_dir().join("vbr_determinism_ckpt");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("resume.ckpt");
+    // Remove the rotated `.prev` too: the loader falls back to it, so a
+    // leftover from a previous run would satisfy the whole request from disk
+    // and phase 1 below would never write a fresh checkpoint.
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
 
     let z = paper::build_z(0.9);
     let mut cfg = SimConfig {
@@ -125,6 +129,7 @@ fn checkpoint_resume_is_bit_identical() {
     assert_eq!(uninterrupted.bop, resumed.bop, "BOP curves must match");
     assert_eq!(uninterrupted.frames_total, resumed.frames_total);
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
 }
 
 /// The batched-generation contract from the pipeline PR: `fill_frames` must
@@ -136,8 +141,8 @@ fn checkpoint_resume_is_bit_identical() {
 fn fill_frames_bit_identical_to_next_frame_for_every_model() {
     use rand::RngCore;
     use vbr_models::{
-        FarimaProcess, FgnProcess, GaussianAr1, GopPattern, IidProcess, Marginal, MarkovOnOff,
-        MarkovOnOffParams, MpegGopModel,
+        CleggParams, CleggProcess, FarimaProcess, FgnProcess, GaussianAr1, GopPattern, IidProcess,
+        Marginal, MarkovOnOff, MarkovOnOffParams, MpegGopModel, MwmParams, MwmProcess,
     };
 
     let markov = MarkovOnOff::new(MarkovOnOffParams::from_frame_targets(
@@ -170,6 +175,20 @@ fn fill_frames_bit_identical_to_next_frame_for_every_model() {
             10.0,
         )),
         Box::new(trace),
+        Box::new(CleggProcess::new(CleggParams {
+            h: 0.8,
+            chains: 7,
+            mean: 500.0,
+            sd: 70.0,
+        })),
+        // levels 6 → 64-frame synthesis blocks, so the chunk sequence below
+        // crosses several cascade refills and ends mid-block.
+        Box::new(MwmProcess::new(MwmParams {
+            mean: 500.0,
+            sd: 70.0,
+            h: 0.8,
+            levels: 6,
+        })),
     ];
     // Uneven chunks: straddle the 64-frame circulant blocks, include 1-frame
     // and empty batches, and end mid-block.
@@ -239,6 +258,106 @@ fn batched_runner_thread_count_invariant_on_fig8_models() {
         .expect("threads=1");
         let four = run(
             &proto,
+            &cfg,
+            &RunOptions {
+                threads: Some(4),
+                ..RunOptions::default()
+            },
+        )
+        .expect("threads=4");
+        for (a, b) in one.per_buffer.iter().zip(&four.per_buffer) {
+            assert_eq!(a.pooled, b.pooled, "{}: pooled accounts", proto.label());
+            assert_eq!(a.clr.mean.to_bits(), b.clr.mean.to_bits());
+            assert_eq!(a.clr.half_width.to_bits(), b.clr.half_width.to_bits());
+        }
+        assert_eq!(one.bop, four.bop, "{}: BOP curves", proto.label());
+    }
+}
+
+/// The two new LRD families ride the same checkpoint/resume contract as the
+/// paper models: kill after 2 of 4 replications, resume, and every account is
+/// bit-identical to an uninterrupted run. Exercises the Clegg equilibrium
+/// re-draw and the MWM cascade refill across the resume boundary.
+#[test]
+fn checkpoint_resume_is_bit_identical_for_new_lrd_families() {
+    let dir = std::env::temp_dir().join("vbr_determinism_ckpt_lrd");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let models: Vec<(&str, Box<dyn FrameProcess>)> = vec![
+        ("clegg", Box::new(paper::build_clegg(0.8))),
+        ("mwm", Box::new(paper::build_mwm(0.8))),
+    ];
+    for (tag, proto) in &models {
+        let path = dir.join(format!("resume_{tag}.ckpt"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
+        let mut cfg = SimConfig {
+            n_sources: 4,
+            capacity_per_source: 538.0,
+            buffers_total: vec![0.0, 300.0],
+            frames_per_replication: 3_000,
+            warmup_frames: 150,
+            replications: 4,
+            seed: 0xC1E6,
+            ts: 0.04,
+            track_bop: true,
+        };
+        let uninterrupted = run(proto.as_ref(), &cfg, &RunOptions::default()).expect("reference");
+
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::new(&path)),
+            ..RunOptions::default()
+        };
+        cfg.replications = 2;
+        run(proto.as_ref(), &cfg, &opts).expect("first half");
+        cfg.replications = 4;
+        let resumed = run(proto.as_ref(), &cfg, &opts).expect("resumed run");
+        assert_eq!(resumed.provenance.resumed, 2, "{tag}: reps from disk");
+        assert_eq!(resumed.provenance.completed, 4);
+
+        for (a, b) in uninterrupted.per_buffer.iter().zip(&resumed.per_buffer) {
+            assert_eq!(a.pooled, b.pooled, "{tag}: pooled accounts");
+            assert_eq!(a.clr.mean.to_bits(), b.clr.mean.to_bits());
+            assert_eq!(a.clr.half_width.to_bits(), b.clr.half_width.to_bits());
+        }
+        assert_eq!(uninterrupted.bop, resumed.bop, "{tag}: BOP curves");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
+    }
+}
+
+/// Thread-count invariance for the new families: the Clegg chain state and
+/// the MWM block buffer live per-source inside each replication, so the
+/// worker-pool schedule must not leak into results.
+#[test]
+fn batched_runner_thread_count_invariant_on_new_lrd_families() {
+    let models: Vec<Box<dyn FrameProcess>> = vec![
+        Box::new(paper::build_clegg(0.9)),
+        Box::new(paper::build_mwm(0.9)),
+    ];
+    for proto in &models {
+        let cfg = SimConfig {
+            n_sources: 4,
+            capacity_per_source: 538.0,
+            buffers_total: vec![0.0, 300.0],
+            frames_per_replication: 2_000,
+            warmup_frames: 300,
+            replications: 2,
+            seed: 0xF1C9,
+            ts: 0.04,
+            track_bop: true,
+        };
+        let one = run(
+            proto.as_ref(),
+            &cfg,
+            &RunOptions {
+                threads: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .expect("threads=1");
+        let four = run(
+            proto.as_ref(),
             &cfg,
             &RunOptions {
                 threads: Some(4),

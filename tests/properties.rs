@@ -374,6 +374,122 @@ proptest! {
         }
     }
 
+    /// Clegg parameter validation: `try_new` accepts exactly the box
+    /// H in (0.5, 1), chains >= 1, mean > 0, sd > 0 — and rejects every
+    /// perturbation out of it.
+    #[test]
+    fn clegg_try_new_validation(
+        h in 0.501f64..0.999,
+        chains in 1usize..64,
+        mean in 1.0f64..2000.0,
+        sd in 0.5f64..500.0,
+    ) {
+        use vbr_models::{CleggParams, CleggProcess};
+        let good = CleggParams { h, chains, mean, sd };
+        prop_assert!(CleggProcess::try_new(good).is_ok());
+        for bad in [
+            CleggParams { h: 0.5, ..good },
+            CleggParams { h: 1.0, ..good },
+            CleggParams { h: h - 0.6, ..good },
+            CleggParams { chains: 0, ..good },
+            CleggParams { mean: 0.0, ..good },
+            CleggParams { mean: -mean, ..good },
+            CleggParams { sd: 0.0, ..good },
+            CleggParams { sd: f64::NAN, ..good },
+        ] {
+            prop_assert!(CleggProcess::try_new(bad).is_err());
+        }
+    }
+
+    /// Clegg structural invariants over the whole parameter box: the chain
+    /// exponent gamma = 3 - 2H lies in (1, 2); moments are matched exactly;
+    /// the ACF is a correlation sequence; and every emitted frame lives on
+    /// the binomial-affine lattice inside [mean ± sd·sqrt(M)].
+    #[test]
+    fn clegg_invariants(
+        h in 0.55f64..0.95,
+        chains in 1usize..24,
+        seed: u64,
+    ) {
+        use vbr_models::{CleggParams, CleggProcess};
+        let (mean, sd) = (500.0, 70.0);
+        let mut p = CleggProcess::new(CleggParams { h, chains, mean, sd });
+        prop_assert!(p.gamma() > 1.0 && p.gamma() < 2.0);
+        prop_assert!((p.mean() - mean).abs() < 1e-9);
+        prop_assert!((p.variance() - sd * sd).abs() < 1e-9 * sd * sd);
+        let acf = p.autocorrelations(32);
+        prop_assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &r in &acf {
+            prop_assert!((-1.0..=1.0 + 1e-12).contains(&r));
+        }
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        let half_range = sd * (chains as f64).sqrt();
+        for _ in 0..256 {
+            let x = p.next_frame(&mut rng);
+            prop_assert!(x >= mean - half_range - 1e-9 && x <= mean + half_range + 1e-9);
+        }
+    }
+
+    /// MWM parameter validation: rejects H out of (0.5, 1), non-positive
+    /// moments, and an empty cascade.
+    #[test]
+    fn mwm_try_new_validation(
+        h in 0.501f64..0.999,
+        levels in 1usize..14,
+        mean in 10.0f64..2000.0,
+        cv in 0.05f64..0.5,
+    ) {
+        use vbr_models::{MwmParams, MwmProcess};
+        let sd = cv * mean;
+        let good = MwmParams { mean, sd, h, levels };
+        prop_assert!(MwmProcess::try_new(good).is_ok());
+        for bad in [
+            MwmParams { h: 0.5, ..good },
+            MwmParams { h: 1.0, ..good },
+            MwmParams { levels: 0, ..good },
+            MwmParams { mean: 0.0, ..good },
+            MwmParams { mean: -mean, ..good },
+            MwmParams { sd: 0.0, ..good },
+            MwmParams { sd: f64::NAN, ..good },
+        ] {
+            prop_assert!(MwmProcess::try_new(bad).is_err());
+        }
+    }
+
+    /// MWM cascade invariants: the solved multiplier-variance schedule lies
+    /// in (0, 1) at every level, obeys the octave-pinning recursion
+    /// eta_{j+1} = eta_j 2^{2-2H} / (1 + eta_j), reproduces the target
+    /// variance exactly, and the synthesized output is non-negative with
+    /// exact per-block mass mean·2^J.
+    #[test]
+    fn mwm_cascade_invariants(
+        h in 0.55f64..0.95,
+        levels in 1usize..10,
+        cv in 0.05f64..0.4,
+        seed: u64,
+    ) {
+        use vbr_models::{MwmParams, MwmProcess};
+        let (mean, sd) = (500.0, 500.0 * cv);
+        let mut p = MwmProcess::new(MwmParams { mean, sd, h, levels });
+        let etas = p.etas().to_vec();
+        prop_assert_eq!(etas.len(), levels);
+        let ratio = 2.0_f64.powf(2.0 - 2.0 * h);
+        for w in etas.windows(2) {
+            prop_assert!((w[1] - w[0] * ratio / (1.0 + w[0])).abs() < 1e-9);
+        }
+        let prod: f64 = etas.iter().map(|e| 1.0 + e).product();
+        prop_assert!(etas.iter().all(|&e| e > 0.0 && e < 1.0));
+        prop_assert!((mean * mean * (prod - 1.0) - sd * sd).abs() < 1e-6 * sd * sd);
+        let mut rng = Xoshiro256PlusPlus::from_seed_u64(seed);
+        let block = p.block_len();
+        let mut frames = vec![0.0_f64; block];
+        p.fill_frames(&mut frames, &mut rng);
+        prop_assert!(frames.iter().all(|&x| x >= 0.0));
+        let mass: f64 = frames.iter().sum();
+        let want = mean * block as f64;
+        prop_assert!((mass - want).abs() < 1e-6 * want, "block mass {} vs {}", mass, want);
+    }
+
     /// Trace replay preserves the recorded multiset of frames over one full
     /// cycle, and its reported mean matches the sample mean.
     #[test]
