@@ -10,9 +10,9 @@
 use crate::recorder::{Event, Recorder, RunSummary};
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Incremental builder for one flat JSON object line.
@@ -283,25 +283,67 @@ pub fn event_to_json(event: &Event) -> String {
     }
 }
 
-/// JSONL sink: writes one line per event to a file, flushing per line. An
-/// I/O failure is reported once on stderr and the sink goes quiet — losing
-/// telemetry must never lose a multi-hour simulation.
+/// Appends optional aggregation stamps to an already-rendered event line:
+/// `ts_ms` (wall-clock milliseconds) and `shard` (the writer's shard index,
+/// skipped when the event already carries a `shard` field of its own, as the
+/// coordinator's worker-lifecycle events do). Tailing aggregators use these
+/// so shard identity and event ordering never have to be inferred from file
+/// paths or arrival order.
+pub fn event_to_json_stamped(event: &Event, ts_ms: Option<u64>, shard: Option<usize>) -> String {
+    let mut line = event_to_json(event);
+    if ts_ms.is_none() && shard.is_none() {
+        return line;
+    }
+    line.pop(); // the closing '}' — every event line is a flat object
+    if let Some(t) = ts_ms {
+        let _ = write!(line, ",\"ts_ms\":{t}");
+    }
+    if let Some(s) = shard {
+        if !line.contains("\"shard\":") {
+            let _ = write!(line, ",\"shard\":{s}");
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// JSONL sink: writes one line per event to a file. Each event is written as
+/// **one `write` syscall of one whole line** — no userspace buffering — so a
+/// concurrent tailer observes heartbeats the moment they are recorded and
+/// (on POSIX appends of this size) never sees a torn line. An I/O failure is
+/// reported once on stderr and the sink goes quiet — losing telemetry must
+/// never lose a multi-hour simulation.
+///
+/// [`with_timestamps`](Self::with_timestamps) and
+/// [`with_shard`](Self::with_shard) opt into the aggregation stamps
+/// described at [`event_to_json_stamped`].
 pub struct JsonlRecorder {
     path: PathBuf,
-    writer: Mutex<BufWriter<File>>,
+    file: Mutex<File>,
     failed: AtomicBool,
+    shard: Option<usize>,
+    timestamps: bool,
+    /// Last stamp handed out, for monotone clamping across clock steps.
+    last_ts: AtomicU64,
 }
 
 impl JsonlRecorder {
+    fn from_file(path: PathBuf, file: File) -> Self {
+        Self {
+            path,
+            file: Mutex::new(file),
+            failed: AtomicBool::new(false),
+            shard: None,
+            timestamps: false,
+            last_ts: AtomicU64::new(0),
+        }
+    }
+
     /// Creates (truncates) the event file.
     pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
         let file = File::create(&path)?;
-        Ok(Self {
-            path,
-            writer: Mutex::new(BufWriter::new(file)),
-            failed: AtomicBool::new(false),
-        })
+        Ok(Self::from_file(path, file))
     }
 
     /// Opens the event file for appending (creating it if absent) — the mode
@@ -313,11 +355,23 @@ impl JsonlRecorder {
             .append(true)
             .create(true)
             .open(&path)?;
-        Ok(Self {
-            path,
-            writer: Mutex::new(BufWriter::new(file)),
-            failed: AtomicBool::new(false),
-        })
+        Ok(Self::from_file(path, file))
+    }
+
+    /// Stamps every line with this writer's shard index (unless the event
+    /// already carries one), so cross-shard aggregation never infers shard
+    /// identity from file paths.
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Stamps every line with a monotonic-ish wall-clock `ts_ms`: real time
+    /// from the system clock, clamped to never decrease within this writer
+    /// even if the clock steps backwards.
+    pub fn with_timestamps(mut self) -> Self {
+        self.timestamps = true;
+        self
     }
 
     /// Where the events are being written.
@@ -325,13 +379,26 @@ impl JsonlRecorder {
         &self.path
     }
 
+    fn stamp_now_ms(&self) -> u64 {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        // fetch_max returns the previous watermark; the stamp is whichever
+        // of (now, watermark) is later, so stamps never run backwards.
+        let prev = self.last_ts.fetch_max(now, Ordering::Relaxed);
+        now.max(prev)
+    }
+
     fn write_line(&self, line: &str) {
         if self.failed.load(Ordering::Relaxed) {
             return;
         }
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let result = writeln!(w, "{line}").and_then(|()| w.flush());
-        if let Err(e) = result {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = f.write_all(buf.as_bytes()) {
             self.failed.store(true, Ordering::Relaxed);
             eprintln!(
                 "[vbr-obs] event stream {} failed, telemetry disabled: {e}",
@@ -343,13 +410,12 @@ impl JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn record(&self, event: &Event) {
-        self.write_line(&event_to_json(event));
+        let ts = self.timestamps.then(|| self.stamp_now_ms());
+        self.write_line(&event_to_json_stamped(event, ts, self.shard));
     }
 
     fn finish(&self, _summary: &RunSummary) {
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = w.flush();
-        }
+        // Every line is already durable in the file — nothing buffered.
     }
 }
 
@@ -974,6 +1040,102 @@ mod tests {
         );
         assert_eq!(get("replication").and_then(|v| v.as_u64()), Some(3));
         assert_eq!(get("frames").and_then(|v| v.as_u64()), Some(525_000));
+    }
+
+    #[test]
+    fn stamped_lines_carry_ts_and_shard() {
+        let dir = std::env::temp_dir().join("vbr_obs_jsonl_stamp_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        let rec = JsonlRecorder::create(&path)
+            .expect("create")
+            .with_shard(3)
+            .with_timestamps();
+        rec.record(&Event::Heartbeat {
+            replication: 1,
+            frame: 4096,
+        });
+        // An event that already names a shard keeps its own field.
+        rec.record(&Event::WorkerSpawned {
+            shard: 9,
+            attempt: 1,
+            pid: 1234,
+        });
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        let fields = parse_flat_object(lines[0]).expect("stamped line parses");
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+        assert_eq!(get("shard").and_then(|v| v.as_u64()), Some(3));
+        assert!(get("ts_ms").and_then(|v| v.as_u64()).is_some(), "{body}");
+
+        let fields = parse_flat_object(lines[1]).expect("parses");
+        let shards: Vec<_> = fields.iter().filter(|(k, _)| k == "shard").collect();
+        assert_eq!(shards.len(), 1, "no duplicate shard key: {}", lines[1]);
+        assert_eq!(shards[0].1.as_u64(), Some(9), "event's own shard wins");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timestamps_never_decrease_within_a_recorder() {
+        let dir = std::env::temp_dir().join("vbr_obs_jsonl_mono_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        let rec = JsonlRecorder::create(&path).expect("create").with_timestamps();
+        for i in 0..50 {
+            rec.record(&Event::Progress {
+                completed: i,
+                requested: 50,
+            });
+        }
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let mut last = 0u64;
+        for line in body.lines() {
+            let fields = parse_flat_object(line).expect("parses");
+            let ts = fields
+                .iter()
+                .find(|(k, _)| k == "ts_ms")
+                .and_then(|(_, v)| v.as_u64())
+                .expect("stamped");
+            assert!(ts >= last, "ts_ms went backwards: {ts} < {last}");
+            last = ts;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The satellite contract: events are visible on disk the moment
+    /// `record` returns — a concurrent tailer sees each heartbeat promptly,
+    /// not on a buffer boundary.
+    #[test]
+    fn events_are_durable_immediately_after_record() {
+        let dir = std::env::temp_dir().join("vbr_obs_jsonl_flush_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        let rec = JsonlRecorder::append(&path).expect("append");
+        for i in 1..=3usize {
+            rec.record(&Event::Heartbeat {
+                replication: i,
+                frame: 0,
+            });
+            // Read back through the filesystem *while the recorder is live*.
+            let body = std::fs::read_to_string(&path).expect("read back");
+            assert_eq!(body.lines().count(), i, "line {i} not flushed");
+            assert!(body.ends_with('\n'), "line {i} incomplete on disk");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn event_to_json_stamped_without_stamps_is_identity() {
+        let ev = Event::Progress {
+            completed: 1,
+            requested: 2,
+        };
+        assert_eq!(event_to_json_stamped(&ev, None, None), event_to_json(&ev));
+        let stamped = event_to_json_stamped(&ev, Some(1700000000123), Some(2));
+        validate_line(&stamped).expect("valid");
+        assert!(stamped.ends_with(",\"ts_ms\":1700000000123,\"shard\":2}"), "{stamped}");
     }
 
     #[test]

@@ -23,9 +23,16 @@
 //!   watchdog action — each with seed/replication provenance matching the
 //!   simulator's typed errors), plus a [`RunSummary`] delivered at run end.
 //! * Sinks: [`MemoryRecorder`] (tests, programmatic use),
-//!   [`JsonlRecorder`] (one JSON object per event, flushed per line, with a
-//!   built-in strict validator in [`jsonl`]), and [`PrometheusExporter`]
-//!   (text exposition written at run end).
+//!   [`JsonlRecorder`] (one JSON object per event, one write syscall per
+//!   line so concurrent tailers see events promptly, with a built-in strict
+//!   validator in [`jsonl`] and optional `ts_ms`/`shard` stamps), and
+//!   [`PrometheusExporter`] (text exposition written at run end).
+//! * The **live observatory** read side: [`tail`] follows `*.events.jsonl`
+//!   files incrementally (partial trailing lines, truncation and rotation
+//!   all survivable), and [`aggregate`] folds any interleaving of
+//!   coordinator + shard streams into a cross-shard campaign model —
+//!   per-shard state machines, merged progress, CLR-so-far, P²-quantile
+//!   ETAs — with deterministic dashboard / Prometheus / timeline renderers.
 //!
 //! Nothing here touches an RNG: enabling any recorder leaves simulation
 //! results **bit-identical** (the integration tests assert it), and the
@@ -35,13 +42,20 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod aggregate;
 pub mod jsonl;
 pub mod metrics;
 pub mod prometheus;
 pub mod recorder;
 pub mod span;
+pub mod tail;
 
+pub use aggregate::{
+    render_campaign_prometheus, render_dashboard, CampaignAggregator, CampaignSnapshot,
+    ShardPhase, ShardStatus, TimelineEntry,
+};
 pub use jsonl::{JsonScalar, JsonlRecorder};
+pub use tail::{TailPoll, Tailer};
 pub use metrics::{
     Counter, FloatCounter, Gauge, GuardTripCounters, Histogram, HistogramSnapshot,
     MetricsSnapshot, P2Snapshot, P2Summary, PipelineMetrics,

@@ -12,7 +12,7 @@ use crate::recorder::{Event, Recorder, RunSummary};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".into()
     } else if v.is_infinite() {
@@ -22,13 +22,13 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn counter(out: &mut String, name: &str, help: &str, value: impl std::fmt::Display) {
+pub(crate) fn counter(out: &mut String, name: &str, help: &str, value: impl std::fmt::Display) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
     let _ = writeln!(out, "{name} {value}");
 }
 
-fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+pub(crate) fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} gauge");
     let _ = writeln!(out, "{name} {}", fmt_f64(value));

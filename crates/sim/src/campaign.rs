@@ -35,12 +35,12 @@ use crate::error::SimError;
 use crate::retry::RetryPolicy;
 use crate::runner::{collect_outcome, Provenance, RepResult, SimConfig, SimOutcome};
 use std::collections::BTreeMap;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vbr_obs::jsonl::parse_flat_object;
+use vbr_obs::tail::Tailer;
 use vbr_obs::{Event, P2Snapshot, P2Summary, Recorder};
 
 /// One worker's slice of the campaign.
@@ -179,66 +179,6 @@ pub struct CampaignOutcome {
     pub report: CampaignReport,
 }
 
-/// Incremental reader of one worker's JSONL event stream. Consumes only
-/// complete lines; a partial trailing line (worker killed mid-write) is
-/// left in the file until more bytes arrive or the supervisor truncates it
-/// before a restart.
-struct EventTail {
-    path: PathBuf,
-    /// Byte offset of the first unconsumed byte (always a line start).
-    offset: u64,
-}
-
-impl EventTail {
-    fn new(path: PathBuf) -> Self {
-        Self { path, offset: 0 }
-    }
-
-    /// Reads newly appended *complete* lines. Returns the raw lines and the
-    /// current file size (liveness signal: any growth counts).
-    fn poll(&mut self) -> (Vec<String>, u64) {
-        let Ok(mut f) = std::fs::File::open(&self.path) else {
-            return (Vec::new(), self.offset);
-        };
-        let size = f.metadata().map(|m| m.len()).unwrap_or(self.offset);
-        if size <= self.offset {
-            return (Vec::new(), size);
-        }
-        if f.seek(SeekFrom::Start(self.offset)).is_err() {
-            return (Vec::new(), size);
-        }
-        let mut buf = String::new();
-        if f.read_to_string(&mut buf).is_err() {
-            return (Vec::new(), size);
-        }
-        let mut lines = Vec::new();
-        let mut consumed = 0usize;
-        for line in buf.split_inclusive('\n') {
-            if line.ends_with('\n') {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    lines.push(trimmed.to_string());
-                }
-                consumed += line.len();
-            }
-        }
-        self.offset += consumed as u64;
-        (lines, size)
-    }
-
-    /// Truncates the file to the consumed offset, discarding a partial
-    /// trailing line so a restarted worker's appends start at a line
-    /// boundary.
-    fn truncate_partial_tail(&self) {
-        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&self.path) {
-            let len = f.metadata().map(|m| m.len()).unwrap_or(0);
-            if len > self.offset {
-                let _ = f.set_len(self.offset);
-            }
-        }
-    }
-}
-
 /// Supervisor-side state machine for one shard.
 enum ShardState {
     /// Worker running.
@@ -255,7 +195,10 @@ struct ShardCtx {
     plan: ShardPlan,
     state: ShardState,
     attempt: u32,
-    tail: EventTail,
+    /// Incremental reader of the shard's event stream (the heartbeat
+    /// channel) — shared with the live observatory tooling in
+    /// [`vbr_obs::tail`].
+    tail: Tailer,
     last_size: u64,
     last_progress: Instant,
     restarts: usize,
@@ -299,7 +242,7 @@ pub fn run_campaign(
     let mut shards: Vec<ShardCtx> = plans
         .into_iter()
         .map(|plan| {
-            let tail = EventTail::new(plan.events.clone());
+            let tail = Tailer::new(plan.events.clone());
             ShardCtx {
                 plan,
                 state: ShardState::Backoff { until: t0 },
@@ -322,7 +265,8 @@ pub fn run_campaign(
         for shard in shards.iter_mut() {
             // Drain this shard's stream first: events inform both liveness
             // and the campaign accumulators regardless of state.
-            let (lines, size) = shard.tail.poll();
+            let polled = shard.tail.poll();
+            let (lines, size) = (polled.lines, polled.size);
             if size != shard.last_size {
                 shard.last_size = size;
                 shard.last_progress = Instant::now();
@@ -634,27 +578,28 @@ mod tests {
         assert_eq!(plans[0].range, 0..3);
     }
 
+    /// The supervisor's stream reader is now the shared [`Tailer`]; this
+    /// pins the supervision-critical contract (complete lines only, partial
+    /// tail truncation at a line boundary) at the call site.
     #[test]
-    fn event_tail_consumes_only_complete_lines() {
+    fn supervisor_tailer_consumes_only_complete_lines() {
         let dir = std::env::temp_dir().join("vbr_sim_event_tail_test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("t.jsonl");
         std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"par").expect("write");
-        let mut tail = EventTail::new(path.clone());
-        let (lines, size) = tail.poll();
-        assert_eq!(lines, vec!["{\"a\":1}", "{\"b\":2}"]);
-        assert_eq!(size, 21);
-        assert_eq!(tail.offset, 16, "partial tail left unconsumed");
+        let mut tail = Tailer::new(path.clone());
+        let polled = tail.poll();
+        assert_eq!(polled.lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(polled.size, 21);
+        assert_eq!(tail.offset(), 16, "partial tail left unconsumed");
 
         // The partial line completes: consumed on the next poll.
         std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"part\":3}\n").expect("write");
-        let (lines, _) = tail.poll();
-        assert_eq!(lines, vec!["{\"part\":3}"]);
+        assert_eq!(tail.poll().lines, vec!["{\"part\":3}"]);
 
         // Truncation discards a fresh partial tail at the line boundary.
         std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"part\":3}\n{\"ha").expect("write");
-        let (lines, _) = tail.poll();
-        assert!(lines.is_empty());
+        assert!(tail.poll().lines.is_empty());
         tail.truncate_partial_tail();
         let body = std::fs::read_to_string(&path).expect("read");
         assert!(body.ends_with("{\"part\":3}\n"), "{body:?}");

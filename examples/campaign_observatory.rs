@@ -1,0 +1,39 @@
+//! Campaign observatory walkthrough: replays a recorded multi-shard event
+//! stream through the cross-shard aggregator and prints every view the live
+//! observatory offers — the post-mortem timeline, the terminal dashboard,
+//! and the Prometheus text exposition `--serve` exposes.
+//!
+//! Run with: `cargo run --example campaign_observatory`
+//!
+//! The input is the committed fixture `tests/fixtures/observatory.events.jsonl`
+//! (a 2-shard campaign in which shard 1 stalls once and is restarted), so the
+//! output is deterministic — no simulation runs, no RNG is touched. The same
+//! aggregation drives `campaign_run --watch`, `--serve` and `--report` on
+//! live streams; see the README's "Live campaign dashboard" section.
+
+use lrd_video::obs::{render_campaign_prometheus, render_dashboard, CampaignAggregator};
+
+/// Recorded 2-shard campaign: shard 0 clean, shard 1 stalled + restarted.
+const FIXTURE: &str = include_str!("../tests/fixtures/observatory.events.jsonl");
+
+fn main() {
+    let mut agg = CampaignAggregator::new(30_000).with_timeline();
+    let ingested = agg.ingest_stream(FIXTURE);
+    let (events, skipped) = agg.counts();
+    println!(
+        "replayed {ingested} lines ({events} aggregated, {skipped} skipped)\n"
+    );
+
+    // The recorded stream carries its own clock (`ts_ms` stamps), so the
+    // "now" for a post-mortem is the stream's latest stamp — every render
+    // below is a pure function of the fixture bytes.
+    let now = agg.latest_ts_ms().unwrap_or(0);
+
+    print!("{}", agg.render_timeline());
+
+    println!("\ndashboard (what `campaign_run --watch` redraws live):");
+    print!("{}", render_dashboard(&agg.snapshot(now), 30, false));
+
+    println!("\nprometheus exposition (what `campaign_run --serve` scrapes):");
+    print!("{}", render_campaign_prometheus(&agg.snapshot(now)));
+}

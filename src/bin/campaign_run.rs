@@ -1,15 +1,22 @@
 //! Supervised multi-process CLR campaign driver.
 //!
-//! One binary, three modes:
+//! One binary, four modes:
 //!
 //! * **coordinator** (default): shards the replications, spawns one worker
 //!   process per shard (re-executing itself with `--worker`), supervises
 //!   heartbeats, restarts crashed/hung workers with backoff, quarantines
 //!   permanent failures, and merges the shard checkpoints into one outcome —
-//!   bit-identical to a single-process run.
+//!   bit-identical to a single-process run. `--watch` adds a live terminal
+//!   dashboard and `--serve ADDR` a live Prometheus scrape endpoint; both
+//!   are read-only tailers over the same JSONL streams the supervisor
+//!   writes, so results stay bit-identical with them on or off.
 //! * **worker** (`--worker`): runs one shard's replication range with
 //!   checkpoint-after-every-replication and heartbeat events on the shard's
-//!   JSONL stream. Honors `VBR_FAULT` chaos specs (see `vbr_sim::fault`).
+//!   JSONL stream, stamped with `ts_ms` + `shard` for aggregation. Honors
+//!   `VBR_FAULT` chaos specs (see `vbr_sim::fault`).
+//! * **report** (`--report DIR`): replays a campaign dir's recorded event
+//!   files into a post-mortem timeline (stderr) and a machine-readable JSON
+//!   summary (stdout).
 //! * **bench** (`--bench OUT.json`): times a fault-free campaign against a
 //!   direct in-process run on the same config and records the supervisor
 //!   overhead plus a bit-identity check.
@@ -18,14 +25,19 @@
 //! coupling it to the paper models; the `fig8` campaign recipe in
 //! EXPERIMENTS.md drives the paper pipeline through the same supervisor API.
 
+use std::io::{IsTerminal, Read as _, Write as _};
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::Command;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vbr_models::{
     CleggParams, CleggProcess, FrameProcess, GaussianAr1, MwmParams, MwmProcess,
 };
 use vbr_sim::campaign::{self, CampaignOptions, CampaignOutcome};
+use vbr_sim::obs::aggregate::{render_campaign_prometheus, render_dashboard, CampaignAggregator};
+use vbr_sim::obs::tail::Tailer;
 use vbr_sim::obs::JsonlRecorder;
 use vbr_sim::{run, RetryPolicy, RunOptions, SimConfig, SimOutcome};
 
@@ -158,11 +170,15 @@ struct CoordinatorConfig {
     backoff_base: Duration,
     threads: Option<usize>,
     bench: Option<PathBuf>,
+    bench_label: String,
+    watch: bool,
+    serve: Option<String>,
 }
 
 struct WorkerConfig {
     shared: SharedConfig,
     range: std::ops::Range<usize>,
+    shard: Option<usize>,
     checkpoint: PathBuf,
     events: PathBuf,
     worker_heartbeat: Duration,
@@ -177,6 +193,8 @@ fn main() {
     }
     let code = if args.iter().any(|a| a == "--worker") {
         worker_main(&args)
+    } else if args.iter().any(|a| a == "--report") {
+        report_main(&args)
     } else {
         coordinator_main(&args)
     };
@@ -189,6 +207,7 @@ fn print_help() {
 
 USAGE:
   campaign_run [FLAGS]                  run a supervised campaign
+  campaign_run --report DIR             post-mortem timeline + JSON summary
   campaign_run --bench OUT.json [FLAGS] fault-free overhead benchmark
   campaign_run --worker [FLAGS]         (internal) run one shard
 
@@ -217,6 +236,17 @@ COORDINATOR FLAGS:
   --max-attempts K          attempts per shard        (default 3)
   --backoff-base-ms T       first retry backoff       (default 200)
   --threads N               threads per worker        (default auto)
+
+OBSERVATORY FLAGS (read-only; results stay bit-identical on or off):
+  --watch                   live terminal dashboard on stderr (per-shard
+                            progress bars, restarts/stalls/quarantine,
+                            merged CLR-so-far, P2-quantile ETA)
+  --serve ADDR              live Prometheus text exposition at
+                            http://ADDR/metrics while the campaign runs
+  --report DIR              replay DIR's recorded event streams into a
+                            post-mortem timeline (stderr) + JSON summary
+                            (stdout), then exit
+  --bench-label NAME        label written into --bench output (default BENCH_5)
 
 Fault injection: set VBR_FAULT=crash@r[:k]|hang@r[:k]|corrupt-checkpoint@r[:k]
 (comma-separated; k = attempt number, `*` = every attempt). Workers inherit
@@ -306,6 +336,7 @@ fn worker_main(args: &[String]) -> i32 {
     let cfg = WorkerConfig {
         shared: parse_shared(args),
         range: lo..hi,
+        shard: flag(args, "--shard"),
         checkpoint: flag(args, "--checkpoint").unwrap_or_else(|| {
             eprintln!("error: --worker needs --checkpoint PATH");
             std::process::exit(2);
@@ -320,13 +351,19 @@ fn worker_main(args: &[String]) -> i32 {
         threads: flag(args, "--threads"),
     };
 
-    let recorder = match JsonlRecorder::append(&cfg.events) {
-        Ok(r) => Arc::new(r),
+    // Timestamp + shard stamps make the stream self-describing for live
+    // aggregation — shard identity never has to be inferred from the path.
+    let mut rec = match JsonlRecorder::append(&cfg.events) {
+        Ok(r) => r.with_timestamps(),
         Err(e) => {
             eprintln!("error: cannot open event stream {}: {e}", cfg.events.display());
             return 1;
         }
     };
+    if let Some(shard) = cfg.shard {
+        rec = rec.with_shard(shard);
+    }
+    let recorder = Arc::new(rec);
     let mut options = campaign::worker_options(
         cfg.checkpoint.clone(),
         cfg.range.clone(),
@@ -359,6 +396,9 @@ fn parse_coordinator(args: &[String]) -> CoordinatorConfig {
         backoff_base: Duration::from_millis(flag(args, "--backoff-base-ms").unwrap_or(200)),
         threads: flag(args, "--threads"),
         bench: flag(args, "--bench"),
+        bench_label: flag(args, "--bench-label").unwrap_or_else(|| "BENCH_5".to_string()),
+        watch: args.iter().any(|a| a == "--watch"),
+        serve: flag(args, "--serve"),
     }
 }
 
@@ -369,7 +409,8 @@ fn run_supervised(cfg: &CoordinatorConfig) -> Result<CampaignOutcome, vbr_sim::S
     std::fs::create_dir_all(&cfg.dir)
         .map_err(|e| vbr_sim::SimError::io(format!("creating {}", cfg.dir.display()), e))?;
     let recorder = JsonlRecorder::create(&campaign_events)
-        .map_err(|e| vbr_sim::SimError::io(format!("creating {}", campaign_events.display()), e))?;
+        .map_err(|e| vbr_sim::SimError::io(format!("creating {}", campaign_events.display()), e))?
+        .with_timestamps();
     let options = CampaignOptions {
         shards: cfg.shards,
         dir: cfg.dir.clone(),
@@ -385,12 +426,15 @@ fn run_supervised(cfg: &CoordinatorConfig) -> Result<CampaignOutcome, vbr_sim::S
     let forward = cfg.shared.forward_args();
     let worker_heartbeat = cfg.worker_heartbeat;
     let threads = cfg.threads;
-    campaign::run_campaign(&sim_config, &options, move |plan, _attempt| {
+    let observatory = start_observatory(cfg)?;
+    let result = campaign::run_campaign(&sim_config, &options, move |plan, _attempt| {
         let mut cmd = Command::new(&exe);
         cmd.arg("--worker")
             .args(&forward)
             .arg("--range")
             .arg(format!("{}:{}", plan.range.start, plan.range.end))
+            .arg("--shard")
+            .arg(plan.index.to_string())
             .arg("--checkpoint")
             .arg(&plan.checkpoint)
             .arg("--events")
@@ -401,7 +445,227 @@ fn run_supervised(cfg: &CoordinatorConfig) -> Result<CampaignOutcome, vbr_sim::S
             cmd.arg("--threads").arg(t.to_string());
         }
         cmd
-    })
+    });
+    if let Some(obs) = observatory {
+        obs.finish();
+    }
+    result
+}
+
+/// Wall-clock milliseconds since the UNIX epoch — the same clock the
+/// recorders stamp events with, so gap-based stall detection compares
+/// like with like.
+fn unix_now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Background read-only view over the campaign's event streams: a tailing
+/// aggregator thread (driving `--watch`) plus an optional scrape endpoint
+/// (`--serve`). Never writes to campaign state — results are bit-identical
+/// whether or not it runs.
+struct Observatory {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Observatory {
+    /// Signals the threads to do a final drain/render and waits for them.
+    fn finish(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn start_observatory(cfg: &CoordinatorConfig) -> Result<Option<Observatory>, vbr_sim::SimError> {
+    if !cfg.watch && cfg.serve.is_none() {
+        return Ok(None);
+    }
+    let agg = Arc::new(Mutex::new(CampaignAggregator::new(
+        cfg.heartbeat_timeout.as_millis() as u64,
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Same plan the supervisor computes, so the tailers follow exactly the
+    // files the workers write — plus the coordinator's own stream.
+    let plans = campaign::plan_shards(&cfg.shared.sim_config(), cfg.shards, &cfg.dir);
+    let mut tails: Vec<Tailer> = std::iter::once(cfg.dir.join("campaign.events.jsonl"))
+        .chain(plans.iter().map(|p| p.events.clone()))
+        .map(Tailer::new)
+        .collect();
+    let watch = cfg.watch;
+    {
+        let agg = Arc::clone(&agg);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let ansi = std::io::stderr().is_terminal();
+            let mut last_plain: Option<Instant> = None;
+            let mut cleared = false;
+            loop {
+                let stopping = stop.load(Ordering::Relaxed);
+                let mut fresh = false;
+                for t in tails.iter_mut() {
+                    let polled = t.poll();
+                    if !polled.lines.is_empty() {
+                        fresh = true;
+                        let mut a = agg.lock().unwrap_or_else(|e| e.into_inner());
+                        for line in &polled.lines {
+                            a.ingest_line(line);
+                        }
+                    }
+                }
+                if watch {
+                    let snap = {
+                        let a = agg.lock().unwrap_or_else(|e| e.into_inner());
+                        a.snapshot(unix_now_ms())
+                    };
+                    if ansi {
+                        if !cleared {
+                            eprint!("\x1b[2J");
+                            cleared = true;
+                        }
+                        // Redraw in place: home, frame, clear below.
+                        eprint!("\x1b[H{}\x1b[J", render_dashboard(&snap, 30, true));
+                    } else if stopping
+                        || (fresh
+                            && last_plain
+                                .is_none_or(|t| t.elapsed() >= Duration::from_secs(2)))
+                    {
+                        // Not a terminal (CI logs): periodic plain frames.
+                        eprint!("{}", render_dashboard(&snap, 30, false));
+                        last_plain = Some(Instant::now());
+                    }
+                }
+                if stopping {
+                    if watch && ansi {
+                        eprintln!();
+                    }
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }));
+    }
+
+    if let Some(addr) = &cfg.serve {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| vbr_sim::SimError::io(format!("binding --serve {addr}"), e))?;
+        let _ = listener.set_nonblocking(true);
+        eprintln!("serving live campaign metrics on http://{addr}/metrics");
+        let agg = Arc::clone(&agg);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || serve_metrics(listener, &agg, &stop)));
+    }
+    Ok(Some(Observatory { stop, handles }))
+}
+
+/// Minimal single-threaded HTTP/1.1 responder for Prometheus scrapes: each
+/// accepted connection gets one text-exposition response rendered from the
+/// live aggregate, then the connection closes (scrape semantics — no
+/// keep-alive needed).
+fn serve_metrics(listener: TcpListener, agg: &Mutex<CampaignAggregator>, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut buf = [0u8; 1024];
+                let n = stream.read(&mut buf).unwrap_or(0);
+                let req = String::from_utf8_lossy(&buf[..n]);
+                let path = req.split_whitespace().nth(1).unwrap_or("/");
+                let (status, body) = if path == "/metrics" || path == "/" {
+                    let snap = {
+                        let a = agg.lock().unwrap_or_else(|e| e.into_inner());
+                        a.snapshot(unix_now_ms())
+                    };
+                    ("200 OK", render_campaign_prometheus(&snap))
+                } else {
+                    ("404 Not Found", "not found\n".to_string())
+                };
+                let _ = write!(
+                    stream,
+                    "HTTP/1.1 {status}\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.flush();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// `--report DIR`: replay recorded event streams into a post-mortem
+/// timeline + final dashboard (stderr) and a JSON summary (stdout). Uses
+/// the streams' own `ts_ms` stamps as the clock, so output is a pure
+/// function of the recorded files.
+fn report_main(args: &[String]) -> i32 {
+    let Some(dir) = flag::<PathBuf>(args, "--report") else {
+        eprintln!("error: --report needs a campaign directory");
+        return 2;
+    };
+    let stall_ms: u64 = flag(args, "--heartbeat-timeout-ms").unwrap_or(30_000);
+    let mut agg = CampaignAggregator::new(stall_ms).with_timeline();
+
+    // Coordinator stream first (lifecycle ground truth), then shard streams.
+    // Ordering is cosmetic only: aggregation is max-merge idempotent and the
+    // timeline sorts by stamp.
+    let mut files: Vec<PathBuf> = Vec::new();
+    let campaign_events = dir.join("campaign.events.jsonl");
+    if campaign_events.is_file() {
+        files.push(campaign_events);
+    }
+    let mut shard_files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".events.jsonl"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    shard_files.sort();
+    files.extend(shard_files);
+    if files.is_empty() {
+        eprintln!("error: no *.events.jsonl files in {}", dir.display());
+        return 1;
+    }
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(body) => {
+                agg.ingest_stream(&body);
+            }
+            Err(e) => eprintln!("warning: skipping {}: {e}", f.display()),
+        }
+    }
+    let now = agg.latest_ts_ms().unwrap_or(0);
+    eprint!("{}", agg.render_timeline());
+    eprint!("{}", render_dashboard(&agg.snapshot(now), 30, false));
+    println!("{}", agg.report_json(now));
+    0
 }
 
 /// One line of machine-readable summary on stdout — what the CI smoke job
@@ -515,6 +779,9 @@ fn bench_main(cfg: &CoordinatorConfig, out: &std::path::Path) -> i32 {
             backoff_base: cfg.backoff_base,
             threads: cfg.threads,
             bench: None,
+            bench_label: cfg.bench_label.clone(),
+            watch: false,
+            serve: None,
         };
         let t = Instant::now();
         let outcome = run_supervised(&run_cfg)?;
@@ -569,7 +836,8 @@ fn bench_main(cfg: &CoordinatorConfig, out: &std::path::Path) -> i32 {
     let campaign_best = best(&campaign_times);
     let overhead_pct = (campaign_best / direct_best - 1.0) * 100.0;
     let body = format!(
-        "{{\n  \"bench\": \"BENCH_5\",\n  \"description\": \"supervisor overhead on the fault-free path: Gaussian AR(1) N={}, {} frames/rep, {} reps, {} buffers, {} shard processes vs one direct in-process run\",\n  \"direct_runs_seconds\": [{}],\n  \"direct_best_seconds\": {:.3},\n  \"campaign_runs_seconds\": [{}],\n  \"campaign_best_seconds\": {:.3},\n  \"supervisor_overhead_pct\": {:.3},\n  \"clr_buffer0\": {:e},\n  \"results_bit_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"description\": \"supervisor overhead on the fault-free path: Gaussian AR(1) N={}, {} frames/rep, {} reps, {} buffers, {} shard processes vs one direct in-process run\",\n  \"direct_runs_seconds\": [{}],\n  \"direct_best_seconds\": {:.3},\n  \"campaign_runs_seconds\": [{}],\n  \"campaign_best_seconds\": {:.3},\n  \"supervisor_overhead_pct\": {:.3},\n  \"clr_buffer0\": {:e},\n  \"results_bit_identical\": {}\n}}\n",
+        cfg.bench_label,
         cfg.shared.sources,
         cfg.shared.frames,
         cfg.shared.replications,
